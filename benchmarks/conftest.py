@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+The heavyweight artifacts (the SCIERA world and the measurement campaign)
+are built once per session; each benchmark then times the analysis that
+regenerates its table/figure. Paper-vs-measured reports are collected and
+printed in the terminal summary so they land in benchmark logs even with
+output capturing on.
+"""
+
+from typing import List
+
+import pytest
+
+from repro.experiments.common import get_campaign, get_world
+
+_REPORTS: List[str] = []
+
+
+@pytest.fixture(scope="session")
+def world():
+    return get_world()
+
+
+@pytest.fixture(scope="session")
+def campaign(world):
+    return get_campaign(fast=True)
+
+
+def report(result) -> None:
+    """Queue an experiment report for the terminal summary."""
+    _REPORTS.append(result.report())
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper vs measured")
+    for text in _REPORTS:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

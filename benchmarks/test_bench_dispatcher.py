@@ -1,0 +1,27 @@
+"""Benchmark: Section 4.8 ablation — dispatcher vs dispatcherless vs XDP.
+
+This is the design-choice ablation DESIGN.md calls out: the same Hercules
+Science-DMZ transfer through the three historical end-host data paths.
+"""
+
+from conftest import report
+
+from repro.experiments.registry import run_experiment
+from repro.scion.addr import IA
+from repro.sciera.hercules import datapath_ablation
+
+
+def test_bench_dispatcher_ablation(benchmark, world):
+    reports = benchmark(
+        datapath_ablation,
+        world.network,
+        IA.parse("71-2:0:3b"),
+        IA.parse("71-20965"),
+        1024**3,
+    )
+    assert reports["dispatcher"].endhost_limited
+    assert (
+        reports["xdp-bypass"].goodput_bps
+        > 2 * reports["dispatcher"].goodput_bps
+    )
+    report(run_experiment("dispatcher"))

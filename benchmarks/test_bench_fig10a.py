@@ -1,0 +1,13 @@
+"""Benchmark: Figure 10a — path latency inflation d2/d1."""
+
+from conftest import report
+
+from repro.experiments.registry import run_experiment
+from repro.sciera.paths_quality import fig10a_latency_inflation
+from repro.sciera.topology_data import FIG8_ASES
+
+
+def test_bench_fig10a(benchmark, world):
+    result = benchmark(fig10a_latency_inflation, world, FIG8_ASES)
+    assert result.frac_below_1_2 > 0.5   # paper: 80% under 1.2
+    report(run_experiment("fig10a"))

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 10b — pairwise path disjointness."""
+
+from conftest import report
+
+from repro.experiments.registry import run_experiment
+from repro.sciera.paths_quality import fig10b_path_disjointness
+from repro.sciera.topology_data import FIG8_ASES
+
+
+def test_bench_fig10b(benchmark, world):
+    result = benchmark(
+        fig10b_path_disjointness, world, FIG8_ASES[:5]
+    )
+    assert result.frac_fully_disjoint > 0.05
+    report(run_experiment("fig10b"))

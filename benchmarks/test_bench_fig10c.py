@@ -1,0 +1,14 @@
+"""Benchmark: Figure 10c — connectivity under random link failures."""
+
+from conftest import report
+
+from repro.experiments.registry import run_experiment
+from repro.sciera.resilience import fig10c_link_failure_sim
+
+
+def test_bench_fig10c(benchmark, world):
+    result = benchmark(
+        fig10c_link_failure_sim, world.network.topology, 5, 7
+    )
+    assert result.multipath_at(0.2) > result.singlepath_at(0.2)
+    report(run_experiment("fig10c"))

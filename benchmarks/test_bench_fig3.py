@@ -1,0 +1,13 @@
+"""Benchmark: Figure 3 — deployment effort timeline and model."""
+
+from conftest import report
+
+from repro.core.deployment import EffortModel
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig3(benchmark):
+    model = EffortModel()
+    correlation = benchmark(model.correlation_with_observed)
+    assert correlation > 0.7
+    report(run_experiment("fig3"))

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 4 — end-host bootstrapping latency per OS."""
+
+import random
+import statistics
+
+from conftest import report
+
+from repro.experiments.fig4_bootstrapping import BOOTSTRAP_AS
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig4(benchmark, world):
+    def bootstrap_once():
+        bootstrapper = world.bootstrapper_for(
+            BOOTSTRAP_AS, os_name="Linux", rng=random.Random(42)
+        )
+        return bootstrapper.bootstrap()
+
+    result = benchmark(bootstrap_once)
+    assert result.total_latency_s < 0.5
+    report(run_experiment("fig4"))

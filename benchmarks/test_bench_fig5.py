@@ -1,0 +1,13 @@
+"""Benchmark: Figure 5 — ping latency CDFs for SCION and IP."""
+
+from conftest import report
+
+from repro.experiments.registry import run_experiment
+from repro.sciera.analysis import fig5_latency_cdf
+
+
+def test_bench_fig5(benchmark, campaign):
+    result = benchmark(fig5_latency_cdf, campaign)
+    assert result.median_reduction_pct > 2.0    # paper: 6.9%
+    assert result.p90_reduction_pct > 10.0      # paper: 23.7%
+    report(run_experiment("fig5"))

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 6 — per-pair SCION/IP RTT ratio CDF."""
+
+from conftest import report
+
+from repro.experiments.registry import run_experiment
+from repro.sciera.analysis import fig6_ratio_cdf
+
+
+def test_bench_fig6(benchmark, campaign):
+    result = benchmark(fig6_ratio_cdf, campaign)
+    assert 0.25 < result.frac_below_1 < 0.60    # paper: ~38%
+    assert result.frac_below_1_25 > 0.70        # paper: ~80%
+    report(run_experiment("fig6"))

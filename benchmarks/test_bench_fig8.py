@@ -1,0 +1,15 @@
+"""Benchmark: Figure 8 — maximum active paths per AS pair."""
+
+from conftest import report
+
+from repro.experiments.registry import run_experiment
+from repro.sciera.analysis import fig8_max_active_paths
+from repro.sciera.topology_data import FIG8_ASES
+
+
+def test_bench_fig8(benchmark, campaign):
+    result = benchmark(fig8_max_active_paths, campaign, FIG8_ASES)
+    values = result.values()
+    assert min(values) >= 2       # paper: at least 2 paths per pair
+    assert max(values) > 100      # paper: 113 for UVa <-> UFMS
+    report(run_experiment("fig8"))

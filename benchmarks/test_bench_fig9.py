@@ -1,0 +1,13 @@
+"""Benchmark: Figure 9 — median deviation from maximum active paths."""
+
+from conftest import report
+
+from repro.experiments.registry import run_experiment
+from repro.sciera.analysis import fig9_median_deviation
+from repro.sciera.topology_data import FIG8_ASES
+
+
+def test_bench_fig9(benchmark, campaign):
+    result = benchmark(fig9_median_deviation, campaign, FIG8_ASES)
+    assert result.matrix[("71-2:0:3b", "71-2:0:3d")] >= 10  # cable cut
+    report(run_experiment("fig9"))

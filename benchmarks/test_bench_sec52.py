@@ -1,0 +1,21 @@
+"""Benchmark: Section 5.2 — application enablement (bat over SCIERA)."""
+
+from conftest import report
+
+from repro.endhost.pan import PanContext
+from repro.experiments.registry import run_experiment
+from repro.sciera.apps import Bat, MiniHttpServer
+
+
+def test_bench_sec52(benchmark, world):
+    server_host = world.host("71-1140")   # SIDN Labs
+    client_host = world.host("71-559")    # SWITCH
+    server = MiniHttpServer(PanContext(server_host), port=8099)
+    server.route("/", lambda headers: b"hello from SIDN")
+    bat = Bat(PanContext(client_host), preference="latency")
+    url = f"scion://{server_host.ia},{server_host.ip}:8099/"
+
+    response = benchmark(bat.get, url)
+    assert response.ok
+    server.socket.close()
+    report(run_experiment("sec52"))

@@ -1,0 +1,13 @@
+"""Benchmark: Section 5.6 — the operator survey analysis."""
+
+from conftest import report
+
+from repro.core.survey import SurveyAnalysis
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_sec56(benchmark):
+    analysis = SurveyAnalysis()
+    headline = benchmark(analysis.headline)
+    assert headline["setup_within_one_month"] == 37.5
+    report(run_experiment("sec56"))

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the SCION stack's hot paths.
+
+Not tied to a paper figure; these quantify the substrate itself: hop-field
+MAC verification (the per-packet router cost), full path probes, packet
+encode/decode, and end-to-end path lookup with segment combination.
+"""
+
+from conftest import report  # noqa: F401  (kept for symmetry)
+
+from repro.scion.addr import IA
+from repro.scion.crypto.keys import SymmetricKey
+from repro.scion.crypto.mac import hop_mac, verify_hop_mac
+from repro.scion.packet import ScionPacket
+from repro.scion.addr import HostAddr
+
+KEY = SymmetricKey(b"bench-key-bench-key-bench-key-32")
+
+
+def test_bench_hop_mac_verify(benchmark):
+    mac = hop_mac(KEY, 1000, 2000, 1, 2, 7)
+    assert benchmark(verify_hop_mac, KEY, 1000, 2000, 1, 2, 7, mac)
+
+
+def test_bench_path_probe(benchmark, world):
+    net = world.network
+    meta = net.paths(IA.parse("71-225"), IA.parse("71-2:0:5c"))[0]
+    result = benchmark(net.dataplane.probe, meta.path, net.timestamp)
+    assert result.success
+
+
+def test_bench_packet_roundtrip(benchmark, world):
+    net = world.network
+    meta = net.paths(IA.parse("71-225"), IA.parse("71-2:0:5c"))[0]
+    packet = ScionPacket(
+        src=HostAddr(IA.parse("71-225"), "10.0.0.1", 4000),
+        dst=HostAddr(IA.parse("71-2:0:5c"), "10.0.0.2", 4001),
+        path=meta.path,
+        payload=b"x" * 256,
+    )
+
+    def roundtrip():
+        return ScionPacket.decode(packet.encode())
+
+    decoded = benchmark(roundtrip)
+    assert decoded.payload == packet.payload
+
+
+def test_bench_path_lookup(benchmark, world):
+    net = world.network
+    src, dst = IA.parse("71-2:0:42"), IA.parse("71-50999")
+
+    def lookup():
+        return net.paths(src, dst, refresh=True)
+
+    paths = benchmark(lookup)
+    assert paths

@@ -1,0 +1,12 @@
+"""Benchmark: Table 1 — building the SCIERA deployment topology."""
+
+from conftest import report
+
+from repro.experiments.registry import run_experiment
+from repro.sciera.topology_data import build_sciera_topology
+
+
+def test_bench_table1(benchmark):
+    topology = benchmark(build_sciera_topology)
+    assert len(topology.ases) == 29
+    report(run_experiment("table1"))

@@ -1,0 +1,12 @@
+"""Benchmark: Table 2 — the hinting mechanism availability matrix."""
+
+from conftest import report
+
+from repro.endhost.bootstrap.hinting import availability_matrix
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_table2(benchmark):
+    matrix = benchmark(availability_matrix)
+    assert len(matrix) == 7
+    report(run_experiment("table2"))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Science-DMZ: secure high-speed bulk transfer over SCIERA (paper §4.7.1).
+
+A research collaboration moves a large confidential data set from KISTI
+Daejeon to GEANT through the SCIONabled 20 Gbps KREONET ring:
+
+* **LightningFilter** authenticates every packet at line rate with
+  symmetric per-AS keys and rate-limits unknown sources — the firewall
+  role legacy appliances cannot fill for SCION traffic;
+* **Hercules** stripes the transfer across disjoint SCION paths;
+* the Section 4.8 ablation shows why the dispatcher had to go.
+
+Run:  python examples/science_dmz.py
+"""
+
+from repro.scion.addr import IA
+from repro.scion.crypto.keys import SymmetricKey
+from repro.sciera.build import build_sciera
+from repro.sciera.hercules import HerculesTransfer, datapath_ablation
+from repro.sciera.lightningfilter import LightningFilter
+
+
+def main() -> None:
+    print("Building SCIERA...")
+    world = build_sciera(seed=7)
+    src, dst = IA.parse("71-2:0:3b"), IA.parse("71-20965")
+
+    # -- LightningFilter in front of the transfer node ------------------------------
+    print("\nLightningFilter at the GEANT Science-DMZ:")
+    lf = LightningFilter(dst, SymmetricKey(b"geant-dmz-host-key-0123456789ab"),
+                         cores=8)
+    print(f"  filtering capacity: {lf.line_rate_gbps():.0f} Gbps at 1500 B "
+          f"(saturates 100GbE: {lf.saturates_100g()})")
+    tag = lf.compute_auth_tag(str(src), b"chunk-0")
+    assert lf.process(str(src), b"chunk-0", tag, now_s=0.0)
+    assert not lf.process(str(src), b"chunk-0", b"\x00" * 16, now_s=0.0)
+    print(f"  authenticated: {lf.stats.accepted}, "
+          f"rejected (bad auth): {lf.stats.rejected_auth}")
+
+    # -- Hercules multipath transfer -----------------------------------------------
+    size = 50 * 1024**3  # a 50 GiB dataset
+    print(f"\nHercules: {size/1024**3:.0f} GiB from KISTI DJ to GEANT")
+    transfer = HerculesTransfer(world.network, src, dst,
+                                per_path_bandwidth_bps=20e9)
+    report = transfer.run(size)
+    print(f"  paths used: {report.paths_used}")
+    for allocation in report.allocations:
+        route = " -> ".join(str(ia) for ia in allocation.path.as_sequence)
+        print(f"    {allocation.bandwidth_bps/1e9:5.1f} Gbps  {route}")
+    print(f"  aggregate goodput: {report.goodput_gbps:.1f} Gbps, "
+          f"completion in {report.duration_s:.0f} s")
+
+    # -- the dispatcher ablation (Section 4.8) ----------------------------------------
+    print("\nEnd-host data path ablation (why the dispatcher had to go):")
+    for mode, ablated in datapath_ablation(
+        world.network, src, dst, size_bytes=size
+    ).items():
+        wall = "END-HOST LIMITED" if ablated.endhost_limited else "network limited"
+        print(f"  {mode:<15} {ablated.goodput_gbps:6.1f} Gbps  "
+              f"{ablated.duration_s:8.0f} s   {wall}")
+
+
+if __name__ == "__main__":
+    main()

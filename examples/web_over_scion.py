@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Native SCION applications: bat, a reverse proxy, and netcat (paper §5.2).
+
+The paper's developer-experience case study: porting real applications to
+SCION takes a handful of lines. This example runs all three ported apps
+against the deployed SCIERA topology:
+
+* ``bat`` fetches a page from UFMS with interactive path selection;
+* the Caddy-style reverse proxy serves SCION clients and tags requests;
+* netcat exchanges datagrams with a drop-in socket swap.
+
+Run:  python examples/web_over_scion.py
+"""
+
+from repro.endhost.pan import PanContext
+from repro.scion.addr import HostAddr
+from repro.sciera.apps import (
+    Bat,
+    MiniHttpServer,
+    Netcat,
+    ReverseProxy,
+    ScionDatagramSocket,
+    enablement_report,
+)
+from repro.sciera.build import build_sciera
+
+
+def main() -> None:
+    print("Building SCIERA...")
+    world = build_sciera(seed=7)
+    ovgu = world.host("71-2:0:42")       # the client, in Magdeburg
+    ufms = world.host("71-2:0:5c")       # the server, in Brazil
+
+    print("\nHow big is each SCION integration, really?")
+    for entry in enablement_report():
+        print(f"  {entry.application:<28} {entry.lines_of_code:>3} LoC "
+              f"(paper: {entry.paper_claim})")
+
+    # -- a web service at UFMS --------------------------------------------------------
+    web = MiniHttpServer(PanContext(ufms), port=80)
+    web.route("/results", lambda headers: b"pantanal-simulation-v2.tar")
+
+    # -- bat with interactive path selection ----------------------------------------------
+    def choose(ordered):
+        print(f"  bat: {len(ordered)} candidate paths; picking the 2nd "
+              "interactively:")
+        for index, meta in enumerate(ordered[:3]):
+            route = " -> ".join(str(ia) for ia in meta.as_sequence)
+            print(f"    [{index}] {2000*meta.latency_estimate_s:6.1f} ms  {route}")
+        return 1
+
+    bat = Bat(PanContext(ovgu), interactive=True, chooser=choose)
+    url = f"scion://{ufms.ia},{ufms.ip}:80/results"
+    print(f"\nbat -interactive {url}")
+    response = bat.get(url)
+    print(f"  HTTP {response.status}, body {response.body!r}")
+    print(f"  rtt {response.rtt_s*1000:.0f} ms via {response.via_path}")
+
+    # -- the reverse proxy -------------------------------------------------------------
+    proxy = ReverseProxy(PanContext(ufms), web)
+    plain_bat = Bat(PanContext(ovgu), preference="latency")
+    proxied = plain_bat.get(f"scion://{ufms.ia},{ufms.ip}:443/results")
+    headers_seen = web.requests_seen[-1][1]
+    print(f"\nvia the caddy-style proxy: HTTP {proxied.status}, "
+          f"Via={proxied.headers.get('Via')}")
+    print(f"  backend saw X-SCION={headers_seen.get('X-SCION')} "
+          f"from {headers_seen.get('X-SCION-Remote-Addr')}")
+
+    # -- netcat ------------------------------------------------------------------------
+    listener = Netcat(lambda: ScionDatagramSocket(PanContext(ufms), 9000))
+    sender = Netcat(lambda: ScionDatagramSocket(PanContext(ovgu)))
+    sender.send_line(HostAddr(ufms.ia, ufms.ip, 9000), "hello from Magdeburg")
+    print(f"\nnetcat listener received: {listener.received_lines()}")
+
+
+if __name__ == "__main__":
+    main()

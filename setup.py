@@ -1,0 +1,7 @@
+"""Legacy setup shim: the environment has no `wheel` package, so pip's
+PEP 517 editable path (which builds a wheel) fails. With setup.py present
+pip falls back to `setup.py develop`, which works offline."""
+
+from setuptools import setup
+
+setup()

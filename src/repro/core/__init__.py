@@ -1,0 +1,35 @@
+"""The paper's contribution: scaling the SCIERA deployment.
+
+Deployment strategy and effort (Figure 3), the SCION Orchestrator
+(Section 4.4), monitoring/alerting, the operator survey (Section 5.6), the
+no-commercial-transit path policy (Section 4.9), and ISD evolution
+planning (Section 3.3).
+"""
+
+from repro.core.deployment import (
+    DEPLOYMENT_TIMELINE,
+    DeploymentRecord,
+    EffortModel,
+    learning_curve,
+)
+from repro.core.orchestrator import Orchestrator, AsSetupReport
+from repro.core.monitoring import ConnectivityMonitor, Alert
+from repro.core.survey import OPERATOR_SURVEY, SurveyAnalysis
+from repro.core.policy import ScieraTransitPolicy
+from repro.core.isd_evolution import IsdSplitPlan, plan_regional_isds
+
+__all__ = [
+    "DEPLOYMENT_TIMELINE",
+    "DeploymentRecord",
+    "EffortModel",
+    "learning_curve",
+    "Orchestrator",
+    "AsSetupReport",
+    "ConnectivityMonitor",
+    "Alert",
+    "OPERATOR_SURVEY",
+    "SurveyAnalysis",
+    "ScieraTransitPolicy",
+    "IsdSplitPlan",
+    "plan_regional_isds",
+]

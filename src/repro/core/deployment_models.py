@@ -1,0 +1,137 @@
+"""Operational deployment models (paper Appendix B.1).
+
+Network operators joining SCIERA choose among three models:
+
+* **Internet AS model** — one AS, centralized control service, cohesive
+  routing policy; multipath comes from multiple border routers, so at
+  least two physical links are recommended;
+* **Multi-AS model** — several virtual SCION ASes inside one network for
+  sophisticated intra-domain control (KREONET runs a dedicated AS per PoP
+  to route east- and west-bound simultaneously);
+* **Edge (non-AS) model** — an Anapaya-Edge-style appliance (border
+  router + SIG) makes the participant a logical extension of its
+  provider; minimal effort, limited routing autonomy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.scion.addr import IA
+from repro.scion.topology import GlobalTopology
+
+
+class DeploymentModel(enum.Enum):
+    INTERNET_AS = "internet-as"
+    MULTI_AS = "multi-as"
+    EDGE = "edge"
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Operational characteristics of one deployment model."""
+
+    model: DeploymentModel
+    runs_own_control_service: bool
+    independent_routing_policy: bool
+    requires_scion_expertise: str      # "high" | "medium" | "minimal"
+    recommended_min_links: int
+    notes: str
+
+
+MODEL_PROFILES: Dict[DeploymentModel, ModelProfile] = {
+    DeploymentModel.INTERNET_AS: ModelProfile(
+        model=DeploymentModel.INTERNET_AS,
+        runs_own_control_service=True,
+        independent_routing_policy=True,
+        requires_scion_expertise="medium",
+        recommended_min_links=2,
+        notes="one AS, centralized control service, multipath via "
+              "multiple border routers",
+    ),
+    DeploymentModel.MULTI_AS: ModelProfile(
+        model=DeploymentModel.MULTI_AS,
+        runs_own_control_service=True,
+        independent_routing_policy=True,
+        requires_scion_expertise="high",
+        recommended_min_links=2,
+        notes="virtual AS per PoP for immediate intra-domain routing "
+              "control (KREONET's ring)",
+    ),
+    DeploymentModel.EDGE: ModelProfile(
+        model=DeploymentModel.EDGE,
+        runs_own_control_service=False,
+        independent_routing_policy=False,
+        requires_scion_expertise="minimal",
+        recommended_min_links=1,
+        notes="appliance with border router + SIG; logical extension of "
+              "the provider AS",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class OperatorConstraints:
+    """What a joining operator can take on."""
+
+    staff_scion_expertise: str      # "none" | "some" | "expert"
+    wants_own_routing_policy: bool
+    multiple_pops: bool
+    budget_usd: int
+
+
+def recommend_model(constraints: OperatorConstraints) -> ModelProfile:
+    """The Appendix-B decision logic as SCIERA's onboarding applies it."""
+    if constraints.staff_scion_expertise == "none" or constraints.budget_usd < 7_000:
+        # The paper's $7k commodity-server floor (Section 4.3.2): below it,
+        # ride the provider's infrastructure.
+        return MODEL_PROFILES[DeploymentModel.EDGE]
+    if constraints.multiple_pops and constraints.wants_own_routing_policy:
+        if constraints.staff_scion_expertise == "expert":
+            return MODEL_PROFILES[DeploymentModel.MULTI_AS]
+    if constraints.wants_own_routing_policy:
+        return MODEL_PROFILES[DeploymentModel.INTERNET_AS]
+    return MODEL_PROFILES[DeploymentModel.EDGE]
+
+
+#: How the actual SCIERA participants deploy (derived from the paper).
+PARTICIPANT_MODELS: Dict[str, DeploymentModel] = {
+    "71-20965": DeploymentModel.INTERNET_AS,   # GEANT: one core AS, 3 nodes
+    "71-2:0:35": DeploymentModel.INTERNET_AS,  # BRIDGES: one core AS, 2 nodes
+    # KREONET: the Multi-AS model, one core AS per PoP (Appendix B).
+    "71-2:0:3b": DeploymentModel.MULTI_AS,
+    "71-2:0:3c": DeploymentModel.MULTI_AS,
+    "71-2:0:3d": DeploymentModel.MULTI_AS,
+    "71-2:0:3e": DeploymentModel.MULTI_AS,
+    "71-2:0:3f": DeploymentModel.MULTI_AS,
+    "71-2:0:40": DeploymentModel.MULTI_AS,
+}
+
+
+def classify_topology(topology: GlobalTopology) -> Dict[str, DeploymentModel]:
+    """Model per participant: declared where known, inferred otherwise.
+
+    Inference: leaf ASes with a single parent link and no own transit
+    match the Edge profile's shape; everything else runs the Internet AS
+    model."""
+    out: Dict[str, DeploymentModel] = {}
+    for ia, as_topo in sorted(topology.ases.items()):
+        text = str(ia)
+        if text in PARTICIPANT_MODELS:
+            out[text] = PARTICIPANT_MODELS[text]
+        elif not as_topo.is_core and len(as_topo.interfaces) == 1:
+            out[text] = DeploymentModel.EDGE
+        else:
+            out[text] = DeploymentModel.INTERNET_AS
+    return out
+
+
+def multi_as_operator_groups(
+    classification: Dict[str, DeploymentModel]
+) -> List[List[str]]:
+    """Group the Multi-AS participants (currently the KREONET ring)."""
+    multi = [ia for ia, m in classification.items()
+             if m is DeploymentModel.MULTI_AS]
+    return [sorted(multi)] if multi else []

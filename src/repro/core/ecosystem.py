@@ -1,0 +1,91 @@
+"""The commercial SCION ecosystem (paper Appendix D).
+
+Over 20 NSPs offer SCION connectivity; peering exists at several IXPs;
+Digital Realty offers SCION at 450+ data centers; cloud access exists via
+marketplaces; Anapaya's registry lists over 200 ASes. This module encodes
+that ecosystem and provides the growth statistics the paper's adoption
+argument rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class NetworkServiceProvider:
+    name: str
+    #: the year the provider started offering SCION (approximate public
+    #: record; used only for the growth curve's shape)
+    since: int
+
+
+#: Appendix D, in the paper's alphabetical order.
+SCION_NSPS: Tuple[NetworkServiceProvider, ...] = (
+    NetworkServiceProvider("Anapaya", 2017),
+    NetworkServiceProvider("Axpo Systems", 2021),
+    NetworkServiceProvider("BICS", 2023),
+    NetworkServiceProvider("BSO Network Solutions", 2023),
+    NetworkServiceProvider("British Telecom (BT)", 2022),
+    NetworkServiceProvider("Celeste", 2024),
+    NetworkServiceProvider("COLT", 2022),
+    NetworkServiceProvider("Cyberlink", 2020),
+    NetworkServiceProvider("Everyware", 2021),
+    NetworkServiceProvider("GEANT", 2022),
+    NetworkServiceProvider("Iristel / Karrier One", 2024),
+    NetworkServiceProvider("KREONET", 2023),
+    NetworkServiceProvider("Litecom", 2021),
+    NetworkServiceProvider("LG U+", 2024),
+    NetworkServiceProvider("Megaport", 2023),
+    NetworkServiceProvider("Odido", 2023),
+    NetworkServiceProvider("Proximus Luxembourg", 2023),
+    NetworkServiceProvider("RNP", 2025),
+    NetworkServiceProvider("Sunrise", 2019),
+    NetworkServiceProvider("Swisscom", 2018),
+    NetworkServiceProvider("SWITCH", 2019),
+    NetworkServiceProvider("Varity BV", 2024),
+    NetworkServiceProvider("VTX Services", 2022),
+)
+
+#: IXPs with SCION peering or L2 access (Appendix D).
+SCION_IXPS: Tuple[str, ...] = ("BBIX", "LINX", "NYIIX", "SwissIX")
+
+#: Data-center SCION availability.
+DATACENTER_OPERATOR = "Digital Realty (ServiceFabric Connect)"
+DATACENTER_COUNT = 450
+
+#: Clouds reachable through marketplace/third-party connectivity.
+CLOUD_MARKETPLACES: Tuple[str, ...] = ("AWS", "Azure", "GCP")
+NATIVE_CLOUD_PROVIDERS: Tuple[str, ...] = ("Cherry Servers", "cloudscale.ch")
+
+#: Anapaya's public registry size quoted by the paper.
+REGISTERED_AS_COUNT = 200
+
+
+@dataclass(frozen=True)
+class EcosystemSnapshot:
+    nsp_count: int
+    ixp_count: int
+    datacenter_count: int
+    cloud_marketplaces: int
+    registered_ases: int
+
+
+def ecosystem_snapshot() -> EcosystemSnapshot:
+    return EcosystemSnapshot(
+        nsp_count=len(SCION_NSPS),
+        ixp_count=len(SCION_IXPS),
+        datacenter_count=DATACENTER_COUNT,
+        cloud_marketplaces=len(CLOUD_MARKETPLACES),
+        registered_ases=REGISTERED_AS_COUNT,
+    )
+
+
+def nsp_growth_by_year() -> Dict[int, int]:
+    """Cumulative NSP count per year — the ecosystem's growth curve."""
+    years = sorted({nsp.since for nsp in SCION_NSPS})
+    out: Dict[int, int] = {}
+    for year in range(min(years), max(years) + 1):
+        out[year] = sum(1 for nsp in SCION_NSPS if nsp.since <= year)
+    return out

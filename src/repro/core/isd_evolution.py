@@ -1,0 +1,148 @@
+"""ISD evolution planning (paper Section 3.3).
+
+SCIERA currently operates one ISD (71). The paper argues that regionally
+scoped ISDs (SCIERA-NA, SCIERA-EU, ...) would improve fault isolation and
+distribute governance. This module plans such a split over the deployed
+topology and quantifies the fault-isolation benefit: the fraction of AS
+pairs whose trust anchor is unaffected by a compromise or failure of
+another region's trust infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.scion.addr import IA
+from repro.scion.topology import GlobalTopology
+
+#: Proposed regional ISD numbers (new ISDs for the split regions).
+REGION_ISD_NUMBERS: Dict[str, int] = {
+    "EU": 72,
+    "NA": 73,
+    "ASIA": 74,
+    "SA": 75,
+    "AF": 76,
+}
+
+
+@dataclass(frozen=True)
+class RegionalIsd:
+    name: str                 # e.g. "SCIERA-EU"
+    isd: int
+    members: Tuple[str, ...]  # IA strings
+    core_ases: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    order: int
+    description: str
+
+
+@dataclass(frozen=True)
+class IsdSplitPlan:
+    regional_isds: Tuple[RegionalIsd, ...]
+    migration_steps: Tuple[MigrationStep, ...]
+    fault_isolation_before: float
+    fault_isolation_after: float
+
+    @property
+    def isolation_gain(self) -> float:
+        return self.fault_isolation_after - self.fault_isolation_before
+
+
+def _fault_isolation(groups: Dict[str, Sequence[str]]) -> float:
+    """Fraction of ordered AS pairs sharing no trust anchor region.
+
+    If a region's TRC/CA infrastructure fails or is compromised, only pairs
+    with at least one endpoint in that region are affected; pairs fully
+    outside keep an intact trust chain. The metric averages, over regions,
+    the fraction of pairs unaffected by that region's failure.
+    """
+    all_ases = [ia for members in groups.values() for ia in members]
+    total_pairs = len(all_ases) * (len(all_ases) - 1)
+    if total_pairs == 0:
+        return 1.0
+    fractions = []
+    for failed_region, members in groups.items():
+        failed = set(members)
+        unaffected = sum(
+            1 for a in all_ases for b in all_ases
+            if a != b and a not in failed and b not in failed
+        )
+        fractions.append(unaffected / total_pairs)
+    return sum(fractions) / len(fractions)
+
+
+def plan_regional_isds(
+    topology: GlobalTopology,
+    target_isd: int = 71,
+) -> IsdSplitPlan:
+    """Plan the split of one ISD into regional ISDs."""
+    members_by_region: Dict[str, List[str]] = {}
+    cores_by_region: Dict[str, List[str]] = {}
+    for ia, as_topo in sorted(topology.ases.items()):
+        if ia.isd != target_isd:
+            continue
+        region = as_topo.region or "EU"
+        members_by_region.setdefault(region, []).append(str(ia))
+        if as_topo.is_core:
+            cores_by_region.setdefault(region, []).append(str(ia))
+
+    regional: List[RegionalIsd] = []
+    for region in sorted(members_by_region):
+        members = members_by_region[region]
+        cores = cores_by_region.get(region, [])
+        if not cores:
+            # A region without an existing core designates its best-
+            # connected member as the new regional core.
+            cores = [max(
+                members,
+                key=lambda text: len(topology.get(IA.parse(text)).interfaces),
+            )]
+        regional.append(
+            RegionalIsd(
+                name=f"SCIERA-{region}",
+                isd=REGION_ISD_NUMBERS.get(region, 77),
+                members=tuple(members),
+                core_ases=tuple(sorted(cores)),
+            )
+        )
+
+    steps: List[MigrationStep] = []
+    order = 1
+    for isd in regional:
+        steps.append(MigrationStep(
+            order,
+            f"establish base TRC for {isd.name} (ISD {isd.isd}) with core "
+            f"ASes {', '.join(isd.core_ases)}",
+        ))
+        order += 1
+    for isd in regional:
+        steps.append(MigrationStep(
+            order,
+            f"stand up a regional CA for {isd.name} and re-issue AS "
+            f"certificates for {len(isd.members)} members",
+        ))
+        order += 1
+    steps.append(MigrationStep(
+        order,
+        "run dual-ISD operation: announce both old and new ISD-AS numbers "
+        "until all end hosts re-bootstrap",
+    ))
+    steps.append(MigrationStep(
+        order + 1,
+        f"retire ISD {target_isd} core beaconing once traffic drains",
+    ))
+
+    before = _fault_isolation(
+        {"single": [str(ia) for ia in topology.ases if ia.isd == target_isd]}
+    )
+    after = _fault_isolation({r.name: r.members for r in regional})
+    return IsdSplitPlan(
+        regional_isds=tuple(regional),
+        migration_steps=tuple(steps),
+        fault_isolation_before=before,
+        fault_isolation_after=after,
+    )

@@ -1,0 +1,89 @@
+"""Continuous connectivity monitoring and alerting (paper Section 4.4).
+
+SCION has no built-in alerting; SCIERA's operators monitor connectivity
+from their own infrastructure to every connected AS, so independent
+operators need no monitoring of their own. When an issue is detected, the
+affected parties are alerted by email and can consult the orchestrator's
+status page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.netsim.simulator import Simulator
+from repro.scion.addr import IA
+from repro.scion.network import ScionNetwork
+
+
+@dataclass(frozen=True)
+class Alert:
+    time_s: float
+    kind: str          # "connectivity-lost" | "connectivity-restored"
+    src: str
+    dst: str
+    email_to: str
+    detail: str = ""
+
+
+class ConnectivityMonitor:
+    """Probes every monitored AS pair on a fixed cadence."""
+
+    def __init__(
+        self,
+        network: ScionNetwork,
+        vantage: IA,
+        targets: Sequence[IA],
+        probe_interval_s: float = 60.0,
+        operator_emails: Optional[Dict[str, str]] = None,
+    ):
+        if probe_interval_s <= 0:
+            raise ValueError("probe interval must be positive")
+        self.network = network
+        self.vantage = vantage
+        self.targets = [ia for ia in targets if ia != vantage]
+        self.probe_interval_s = probe_interval_s
+        self.operator_emails = operator_emails or {}
+        self.alerts: List[Alert] = []
+        self.probes_sent = 0
+        self._down: Set[IA] = set()
+        self._subscribers: List[Callable[[Alert], None]] = []
+
+    def subscribe(self, handler: Callable[[Alert], None]) -> None:
+        self._subscribers.append(handler)
+
+    def start(self, sim: Simulator) -> None:
+        sim.schedule(0.0, self._probe_round, sim)
+
+    def _probe_round(self, sim: Simulator) -> None:
+        for target in self.targets:
+            self.probes_sent += 1
+            reachable = bool(self.network.active_paths(self.vantage, target))
+            if not reachable and target not in self._down:
+                self._down.add(target)
+                self._emit(sim.now, "connectivity-lost", target)
+            elif reachable and target in self._down:
+                self._down.remove(target)
+                self._emit(sim.now, "connectivity-restored", target)
+        sim.schedule(self.probe_interval_s, self._probe_round, sim)
+
+    def _emit(self, now: float, kind: str, target: IA) -> None:
+        email = self.operator_emails.get(
+            str(target), f"noc@{str(target).replace(':', '-')}.example.net"
+        )
+        alert = Alert(
+            time_s=now,
+            kind=kind,
+            src=str(self.vantage),
+            dst=str(target),
+            email_to=email,
+            detail=f"probed every {self.probe_interval_s:.0f}s from {self.vantage}",
+        )
+        self.alerts.append(alert)
+        for handler in self._subscribers:
+            handler(alert)
+
+    @property
+    def currently_down(self) -> List[str]:
+        return sorted(str(ia) for ia in self._down)

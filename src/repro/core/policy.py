@@ -1,0 +1,79 @@
+"""The SCIERA transit policy (paper Section 4.9).
+
+"We instituted a strict SCION path policy to ensure that traffic from/to
+any commercial providers can only terminate/originate within (but not
+transit) SCIERA." Academic networks may not carry commercial transit —
+violating that lands someone "in a conference room justifying operations
+to lawyers."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set
+
+from repro.endhost.policy import PathPolicy
+from repro.scion.addr import IA
+from repro.scion.path import PathMeta
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    permitted: bool
+    reason: str = ""
+
+
+class ScieraTransitPolicy(PathPolicy):
+    """Commercial ASes may be endpoints of a SCIERA path, never transit.
+
+    ``commercial`` names the commercial ASes/ISDs. A path is rejected iff
+    any *interior* AS (neither source nor destination) is commercial.
+    Usable directly as a :class:`PathPolicy` (it filters) and as an audit
+    helper via :meth:`evaluate`.
+    """
+
+    def __init__(
+        self,
+        commercial_ases: Iterable[IA] = (),
+        commercial_isds: Iterable[int] = (64,),
+    ):
+        self.commercial_ases: Set[IA] = set(commercial_ases)
+        self.commercial_isds: Set[int] = set(commercial_isds)
+
+    def is_commercial(self, ia: IA) -> bool:
+        return ia in self.commercial_ases or ia.isd in self.commercial_isds
+
+    def evaluate(self, as_sequence: Sequence[IA]) -> PolicyDecision:
+        """A path violates the policy iff SCIERA would carry commercial
+        transit: an academic AS sitting strictly *between* two commercial
+        ASes. Commercial endpoints (traffic terminating/originating at a
+        commercial provider) are explicitly permitted, as is a commercial
+        provider carrying SCIERA traffic toward its own customers."""
+        if len(as_sequence) < 3:
+            return PolicyDecision(True, "no interior ASes")
+        commercial_positions = [
+            index for index, ia in enumerate(as_sequence)
+            if self.is_commercial(ia)
+        ]
+        if len(commercial_positions) < 2:
+            return PolicyDecision(True, "no commercial transit possible")
+        first, last = commercial_positions[0], commercial_positions[-1]
+        for index in range(first + 1, last):
+            ia = as_sequence[index]
+            if not self.is_commercial(ia):
+                return PolicyDecision(
+                    False,
+                    f"academic AS {ia} would carry transit between "
+                    f"commercial ASes {as_sequence[first]} and "
+                    f"{as_sequence[last]}",
+                )
+        return PolicyDecision(True, "no commercial transit")
+
+    def order(self, paths: Sequence[PathMeta]) -> List[PathMeta]:
+        return [
+            meta for meta in paths if self.evaluate(meta.as_sequence).permitted
+        ]
+
+    def audit(self, paths: Sequence[PathMeta]) -> List[PolicyDecision]:
+        """Decision per path — the documentation trail Section 4.9 values."""
+        return [self.evaluate(meta.as_sequence) for meta in paths]

@@ -1,0 +1,33 @@
+"""Automated end-host bootstrapping (paper Section 4.1 and Appendix A)."""
+
+from repro.endhost.bootstrap.hinting import (
+    HintMechanism,
+    NetworkScenario,
+    NetworkEnvironment,
+    Hint,
+    availability,
+    availability_matrix,
+)
+from repro.endhost.bootstrap.server import BootstrapServer, TopologyDocument
+from repro.endhost.bootstrap.bootstrapper import (
+    Bootstrapper,
+    BootstrapError,
+    BootstrapResult,
+)
+from repro.endhost.bootstrap.timing import OsTimingModel, OS_MODELS
+
+__all__ = [
+    "HintMechanism",
+    "NetworkScenario",
+    "NetworkEnvironment",
+    "Hint",
+    "availability",
+    "availability_matrix",
+    "BootstrapServer",
+    "TopologyDocument",
+    "Bootstrapper",
+    "BootstrapError",
+    "BootstrapResult",
+    "OsTimingModel",
+    "OS_MODELS",
+]

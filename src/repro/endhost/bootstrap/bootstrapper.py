@@ -1,0 +1,192 @@
+"""The client-side bootstrapper (paper Sections 4.1.1-4.1.3).
+
+Pipeline: (1) obtain a hint through whichever mechanism the local network
+offers, trying mechanisms in preference order; (2) fetch the signed
+topology and the TRCs from the discovered bootstrap server; (3) validate
+the TRC (initial TRC via secure channel / pin, updates via chaining) and
+the topology signature against the AS certificate chain anchored in the
+TRC. After this the host "has all the necessary information to fetch paths
+and make use of SCIERA."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.endhost.bootstrap.hinting import (
+    Hint,
+    HintMechanism,
+    NetworkEnvironment,
+)
+from repro.endhost.bootstrap.server import BootstrapServer, TopologyDocument
+from repro.endhost.bootstrap.timing import OS_MODELS, OsTimingModel
+from repro.scion.crypto.cppki import CertificateError, verify_chain
+from repro.scion.crypto.trc import Trc, TrcError, verify_trc_chain
+from repro.scion.dataplane.underlay import IntraAsNetwork
+
+
+class BootstrapError(Exception):
+    """Raised when no mechanism yields a hint or validation fails."""
+
+
+#: Default order: cheap DNS lookups first, then DHCP, then multicast.
+DEFAULT_PREFERENCE: Tuple[HintMechanism, ...] = (
+    HintMechanism.DNS_SRV,
+    HintMechanism.DNS_NAPTR,
+    HintMechanism.DNS_SD,
+    HintMechanism.IPV6_NDP,
+    HintMechanism.DHCP_VIVO,
+    HintMechanism.DHCPV6_VSIO,
+    HintMechanism.DHCP_OPTION72,
+    HintMechanism.MDNS,
+)
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A completed bootstrap: configuration plus where the time went."""
+
+    topology: TopologyDocument
+    trcs: Tuple[Trc, ...]
+    mechanism: HintMechanism
+    hint_latency_s: float
+    config_latency_s: float
+    mechanisms_tried: int
+
+    @property
+    def total_latency_s(self) -> float:
+        return self.hint_latency_s + self.config_latency_s
+
+
+class Bootstrapper:
+    """Discovers and validates SCION configuration for one end host."""
+
+    def __init__(
+        self,
+        environment: NetworkEnvironment,
+        servers: Dict[Tuple[str, int], BootstrapServer],
+        os_name: str = "Linux",
+        underlay: Optional[IntraAsNetwork] = None,
+        client_ip: str = "",
+        preference: Sequence[HintMechanism] = DEFAULT_PREFERENCE,
+        rng: Optional[random.Random] = None,
+        now: float = 0.0,
+        pinned_trcs: Optional[Sequence[Trc]] = None,
+    ):
+        if os_name not in OS_MODELS:
+            raise BootstrapError(
+                f"unknown OS {os_name!r}; known: {sorted(OS_MODELS)}"
+            )
+        self.environment = environment
+        self.servers = servers
+        self.timing: OsTimingModel = OS_MODELS[os_name]
+        self.underlay = underlay
+        self.client_ip = client_ip
+        self.preference = tuple(preference)
+        self.rng = rng or random.Random(0xB007)
+        self.now = now
+        self.pinned_trcs = list(pinned_trcs or [])
+
+    # -- step 1: hint discovery ---------------------------------------------------
+
+    def discover_hint(self) -> Tuple[Hint, float, int]:
+        """Try mechanisms in preference order; return (hint, latency, tries).
+
+        Each unavailable mechanism still costs a (short) probe timeout —
+        this is why the preference order matters for the Figure 4 numbers.
+        """
+        elapsed = 0.0
+        tried = 0
+        for mechanism in self.preference:
+            tried += 1
+            elapsed += self.timing.sample_hint_s(mechanism, self.rng)
+            hint = self.environment.query(mechanism)
+            if hint is not None:
+                return hint, elapsed, tried
+        raise BootstrapError(
+            f"no bootstrapping hint found after trying {tried} mechanisms"
+        )
+
+    # -- step 2+3: config fetch and validation --------------------------------------
+
+    def fetch_config(self, hint: Hint) -> Tuple[TopologyDocument, List[Trc], float]:
+        server = self.servers.get((hint.server_ip, hint.server_port))
+        if server is None:
+            raise BootstrapError(
+                f"hint points at {hint.server_ip}:{hint.server_port} "
+                "but no bootstrap server answers there"
+            )
+        rtt = 0.002
+        if self.underlay is not None and self.client_ip:
+            rtt = 2 * self.underlay.latency_s(self.client_ip, server.ip)
+        latency = self.timing.sample_http_s(rtt, self.rng)
+        latency += server.processing_s
+        document = server.get_topology()
+        trcs = server.get_trcs()
+        self._validate(document, trcs)
+        return document, trcs, latency
+
+    def _validate(self, document: TopologyDocument, trcs: Sequence[Trc]) -> None:
+        if not trcs:
+            raise BootstrapError("bootstrap server returned no TRCs")
+        local_isd = document.ia.isd
+        local = [t for t in trcs if t.isd == local_isd]
+        if not local:
+            raise BootstrapError(f"no TRC for local ISD {local_isd}")
+        trc = sorted(local, key=lambda t: t.serial)[-1]
+        try:
+            if self.pinned_trcs:
+                # Initial TRC obtained out-of-band: the served TRC must chain
+                # from (or be) a pinned one.
+                pinned = {(p.isd, p.serial): p for p in self.pinned_trcs}
+                if (trc.isd, trc.serial) in pinned:
+                    if trc.payload_bytes() != pinned[(trc.isd, trc.serial)].payload_bytes():
+                        raise BootstrapError("served TRC differs from pinned TRC")
+                else:
+                    base = pinned.get((trc.isd, trc.serial - 1))
+                    if base is None:
+                        raise BootstrapError(
+                            "served TRC does not chain from any pinned TRC"
+                        )
+                    trc.verify_update(base)
+            else:
+                # Trust-on-first-use via the secure (TLS) channel: verify the
+                # full served chain from the base TRC up to the latest.
+                chain = sorted(local, key=lambda t: t.serial)
+                if not chain[0].is_base:
+                    raise BootstrapError(
+                        "served TRCs do not include the base TRC"
+                    )
+                verify_trc_chain(chain)
+        except TrcError as exc:
+            raise BootstrapError(f"TRC validation failed: {exc}") from exc
+        if not document.verify_signature():
+            raise BootstrapError("topology document signature invalid")
+        try:
+            verify_chain(document.certificate_chain, trc, now=max(
+                self.now, trc.not_before
+            ))
+        except CertificateError as exc:
+            raise BootstrapError(
+                f"topology signer certificate chain invalid: {exc}"
+            ) from exc
+        if str(document.certificate_chain[0].subject) != str(document.ia):
+            raise BootstrapError(
+                "topology signed by a certificate for a different AS"
+            )
+
+    # -- the whole pipeline ----------------------------------------------------------
+
+    def bootstrap(self) -> BootstrapResult:
+        hint, hint_latency, tried = self.discover_hint()
+        document, trcs, config_latency = self.fetch_config(hint)
+        return BootstrapResult(
+            topology=document,
+            trcs=tuple(trcs),
+            mechanism=hint.mechanism,
+            hint_latency_s=hint_latency,
+            config_latency_s=config_latency,
+            mechanisms_tried=tried,
+        )

@@ -1,0 +1,96 @@
+"""The SCION daemon (sciond).
+
+"The daemon acts as the core of this stack, handling all end host
+interactions with the SCION control plane. It consolidates critical tasks,
+such as path lookup and selection, caching path information, ... and
+maintaining local databases for SCION's public-key infrastructure"
+(paper Section 2). One daemon serves all applications on a host, giving
+them shared caching and consolidated control-plane interactions — the
+benefit the bootstrapper-dependent and standalone library modes trade away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.scion.addr import IA
+from repro.scion.control.service import TrustStore
+from repro.scion.crypto.trc import Trc
+from repro.scion.network import ScionNetwork
+from repro.scion.path import PathMeta
+from repro.scion.scmp import ScmpMessage, ScmpType
+
+
+@dataclass
+class DaemonStats:
+    lookups: int = 0
+    cache_hits: int = 0
+    scmp_interface_down: int = 0
+    refreshes: int = 0
+
+
+class Daemon:
+    """Per-host path lookup/caching service."""
+
+    def __init__(
+        self,
+        network: ScionNetwork,
+        ia: IA,
+        cache_ttl_s: float = 300.0,
+    ):
+        self.network = network
+        self.ia = ia
+        self.cache_ttl_s = cache_ttl_s
+        self.stats = DaemonStats()
+        self.trust_store = TrustStore()
+        for isd in network.topology.isds():
+            self.trust_store.add_trc(network.trc_for(isd))
+        #: dst -> (fetch time, paths)
+        self._cache: Dict[IA, Tuple[float, List[PathMeta]]] = {}
+        #: interfaces recently reported down via SCMP
+        self._down_interfaces: Set[str] = set()
+
+    def lookup(self, dst: IA, now: float = 0.0) -> List[PathMeta]:
+        """Paths to ``dst``, served from cache within the TTL.
+
+        Paths containing interfaces reported down via SCMP are filtered out
+        until the next refresh — this is the "switching paths instantly"
+        behaviour of Section 4.7.
+        """
+        self.stats.lookups += 1
+        cached = self._cache.get(dst)
+        if cached is not None and now - cached[0] < self.cache_ttl_s:
+            self.stats.cache_hits += 1
+            paths = cached[1]
+        else:
+            paths = self.network.paths(self.ia, dst)
+            self._cache[dst] = (now, paths)
+            if cached is not None:
+                self.stats.refreshes += 1
+        if not self._down_interfaces:
+            return list(paths)
+        return [
+            meta for meta in paths
+            if not any(ifid in self._down_interfaces for ifid in meta.interfaces)
+        ]
+
+    def handle_scmp(self, message: ScmpMessage) -> None:
+        """React to SCMP errors from routers (external interface down)."""
+        if message.scmp_type is ScmpType.EXTERNAL_INTERFACE_DOWN:
+            self.stats.scmp_interface_down += 1
+            self._down_interfaces.add(f"{message.origin_ia}#{message.info}")
+
+    def clear_interface_state(self) -> None:
+        """Forget down-interface reports (periodic re-probe succeeded)."""
+        self._down_interfaces.clear()
+
+    def flush_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cached_destinations(self) -> List[IA]:
+        return sorted(self._cache)
+
+    def trcs(self, isd: int) -> List[Trc]:
+        return self.trust_store.chain(isd)

@@ -1,0 +1,86 @@
+"""Happy-Eyeballs-style transport racing with SCION as a third option.
+
+Section 4.2.2 of the paper: adding SCION to the Happy Eyeballs library
+(which today arbitrates IPv4 vs IPv6) would let every application using it
+communicate over SCION when available. We model the RFC 8305 mechanism:
+candidate transports are started with a stagger delay in preference order,
+and the first to complete its connection wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: RFC 8305 "Connection Attempt Delay" default.
+DEFAULT_STAGGER_S = 0.250
+
+
+@dataclass(frozen=True)
+class ConnectionAttempt:
+    """One candidate transport for reaching a destination."""
+
+    transport: str           # "scion" | "ipv6" | "ipv4"
+    connect_rtt_s: Optional[float]  # None = transport unavailable
+    preference_rank: int = 0  # 0 = started first
+
+
+@dataclass(frozen=True)
+class RaceOutcome:
+    winner: str
+    established_at_s: float
+    attempts_started: int
+    fallback_used: bool      # True if a lower-preference transport won
+
+
+class HappyEyeballs:
+    """Race transports, SCION first when offered (it brings path choice)."""
+
+    def __init__(self, stagger_s: float = DEFAULT_STAGGER_S):
+        if stagger_s < 0:
+            raise ValueError("stagger must be non-negative")
+        self.stagger_s = stagger_s
+
+    def race(self, attempts: Sequence[ConnectionAttempt]) -> RaceOutcome:
+        """Determine the winning transport.
+
+        Each attempt starts ``preference_rank * stagger`` after the race
+        begins and completes one connect-RTT later; unavailable transports
+        never complete. The earliest completion wins; ties favor the more
+        preferred transport (it started earlier, so a tie means it is not
+        slower).
+        """
+        if not attempts:
+            raise ValueError("no connection attempts supplied")
+        viable: List[Tuple[float, int, str]] = []
+        started = 0
+        for attempt in attempts:
+            started += 1
+            if attempt.connect_rtt_s is None:
+                continue
+            if attempt.connect_rtt_s < 0:
+                raise ValueError(
+                    f"negative connect RTT for {attempt.transport!r}"
+                )
+            finish = attempt.preference_rank * self.stagger_s + attempt.connect_rtt_s
+            viable.append((finish, attempt.preference_rank, attempt.transport))
+        if not viable:
+            raise ConnectionError("all transports unavailable")
+        finish, rank, transport = min(viable)
+        return RaceOutcome(
+            winner=transport,
+            established_at_s=finish,
+            attempts_started=started,
+            fallback_used=rank != min(a.preference_rank for a in attempts),
+        )
+
+    def race_scion_ip(
+        self,
+        scion_rtt_s: Optional[float],
+        ip_rtt_s: Optional[float],
+    ) -> RaceOutcome:
+        """The common case: SCION preferred, legacy IP as fallback."""
+        return self.race([
+            ConnectionAttempt("scion", scion_rtt_s, preference_rank=0),
+            ConnectionAttempt("ip", ip_rtt_s, preference_rank=1),
+        ])

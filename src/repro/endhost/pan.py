@@ -1,0 +1,340 @@
+"""The PAN application library: sockets, modes, and in-app bootstrapping.
+
+This is the paper's Section 4.2 in code:
+
+* **three operating modes** — daemon-dependent, bootstrapper-dependent,
+  standalone — resolved automatically ("There is no need to explicitly
+  choose a mode of operation"): the library uses a daemon when one runs on
+  the host, falls back to pre-installed bootstrap information, and finally
+  bootstraps itself in-process;
+* **drop-in socket** — :class:`ScionSocket` mirrors a classic UDP socket
+  (bind / send / receive-handler) while transparently handling the IP-UDP
+  Layer-2.5 encapsulation and exposing path-aware knobs (policy, explicit
+  path, failover).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.endhost.bootstrap.bootstrapper import (
+    Bootstrapper,
+    BootstrapError,
+    BootstrapResult,
+)
+from repro.endhost.daemon import Daemon
+from repro.endhost.policy import LowestLatencyPolicy, PathPolicy, ShortestPolicy
+from repro.scion.addr import HostAddr, IA
+from repro.scion.dataplane.underlay import IntraAsNetwork
+from repro.scion.network import ScionNetwork
+from repro.scion.packet import ScionPacket, UnderlayFrame
+from repro.scion.path import PathMeta
+
+
+class PanError(Exception):
+    """Raised for unusable destinations, unbound ports, or setup failures."""
+
+
+class AppLibraryMode(enum.Enum):
+    DAEMON = "daemon-dependent"
+    BOOTSTRAPPER = "bootstrapper-dependent"
+    STANDALONE = "standalone"
+
+
+class HostRegistry:
+    """Maps (IA, intra-AS IP) to hosts so sockets can deliver to peers."""
+
+    def __init__(self) -> None:
+        self._hosts: Dict[Tuple[str, str], "ScionHost"] = {}
+
+    def register(self, host: "ScionHost") -> None:
+        key = (str(host.ia), host.ip)
+        if key in self._hosts:
+            raise PanError(f"host {key} already registered")
+        self._hosts[key] = host
+
+    def lookup(self, ia: IA, ip: str) -> Optional["ScionHost"]:
+        return self._hosts.get((str(ia), ip))
+
+    def hosts_in(self, ia: IA) -> List["ScionHost"]:
+        return [h for (ia_text, _), h in self._hosts.items() if ia_text == str(ia)]
+
+
+@dataclass(frozen=True)
+class SendResult:
+    """Outcome of one send (and, for request/response handlers, the reply)."""
+
+    success: bool
+    latency_s: float = 0.0
+    rtt_s: float = 0.0
+    path: Optional[PathMeta] = None
+    failure: str = ""
+    reply: Optional[bytes] = None
+    paths_tried: int = 0
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+class ScionHost:
+    """One end host: an IA, an intra-AS IP, and its end-host stack pieces."""
+
+    def __init__(
+        self,
+        network: ScionNetwork,
+        ia: IA,
+        ip: str,
+        registry: HostRegistry,
+        daemon: Optional[Daemon] = None,
+        bootstrap_result: Optional[BootstrapResult] = None,
+        bootstrapper: Optional[Bootstrapper] = None,
+        underlay: Optional[IntraAsNetwork] = None,
+        os_name: str = "Linux",
+    ):
+        if ia not in network.topology.ases:
+            raise PanError(f"host placed in unknown AS {ia}")
+        self.network = network
+        self.ia = ia
+        self.ip = ip
+        self.registry = registry
+        self.daemon = daemon
+        self.bootstrap_result = bootstrap_result
+        self.bootstrapper = bootstrapper
+        self.underlay = underlay
+        self.os_name = os_name
+        self.sockets: Dict[int, "ScionSocket"] = {}
+        self._next_ephemeral = 40000
+        registry.register(self)
+
+    @property
+    def address(self) -> HostAddr:
+        return HostAddr(self.ia, self.ip, 0)
+
+    def allocate_port(self) -> int:
+        while self._next_ephemeral in self.sockets:
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    def underlay_latency_to_router_s(self) -> float:
+        """One-way intra-AS latency from this host to its border router."""
+        if self.underlay is None:
+            return 0.0004
+        router_ip = self.network.topology.get(self.ia).border_routers[0]
+        return self.underlay.latency_s(self.ip, router_ip)
+
+
+class PanContext:
+    """Per-application library instance with automatic mode fallback."""
+
+    def __init__(self, host: ScionHost, default_policy: Optional[PathPolicy] = None):
+        self.host = host
+        self.default_policy = default_policy or LowestLatencyPolicy()
+        self.mode: Optional[AppLibraryMode] = None
+        self.setup_latency_s = 0.0
+        self._own_cache: Dict[IA, List[PathMeta]] = {}
+        self._bootstrap: Optional[BootstrapResult] = host.bootstrap_result
+
+    def ensure_ready(self) -> AppLibraryMode:
+        """Resolve the operating mode, bootstrapping in-app if necessary."""
+        if self.mode is not None:
+            return self.mode
+        if self.host.daemon is not None:
+            self.mode = AppLibraryMode.DAEMON
+        elif self._bootstrap is not None:
+            self.mode = AppLibraryMode.BOOTSTRAPPER
+        elif self.host.bootstrapper is not None:
+            result = self.host.bootstrapper.bootstrap()
+            self._bootstrap = result
+            self.setup_latency_s = result.total_latency_s
+            self.mode = AppLibraryMode.STANDALONE
+        else:
+            raise PanError(
+                "no daemon, no bootstrap information, and no way to "
+                "bootstrap: host cannot use SCION"
+            )
+        return self.mode
+
+    def on_network_migration(self) -> None:
+        """The host moved networks: caches are stale, standalone apps must
+        re-bootstrap individually (the inefficiency Section 4.2.1 notes)."""
+        self._own_cache.clear()
+        if self.mode is AppLibraryMode.STANDALONE:
+            self.mode = None
+            self._bootstrap = None
+        elif self.mode is AppLibraryMode.DAEMON and self.host.daemon:
+            self.host.daemon.flush_cache()
+
+    def paths(self, dst: IA, now: float = 0.0) -> List[PathMeta]:
+        self.ensure_ready()
+        if self.mode is AppLibraryMode.DAEMON:
+            return self.host.daemon.lookup(dst, now)
+        cached = self._own_cache.get(dst)
+        if cached is None:
+            cached = self.host.network.paths(self.host.ia, dst)
+            self._own_cache[dst] = cached
+        return list(cached)
+
+    def select_path(
+        self, dst: IA, policy: Optional[PathPolicy] = None, now: float = 0.0
+    ) -> PathMeta:
+        candidates = self.paths(dst, now)
+        chosen = (policy or self.default_policy).best(candidates)
+        if chosen is None:
+            raise PanError(f"no path from {self.host.ia} to {dst} permitted")
+        return chosen
+
+    def open_socket(self, port: int = 0) -> "ScionSocket":
+        if port == 0:
+            port = self.host.allocate_port()
+        if port in self.host.sockets:
+            raise PanError(f"port {port} already bound on {self.host.ip}")
+        sock = ScionSocket(self, port)
+        self.host.sockets[port] = sock
+        return sock
+
+
+#: Handler signature: (payload, source, path) -> optional reply payload.
+MessageHandler = Callable[[bytes, HostAddr, PathMeta], Optional[bytes]]
+
+
+class ScionSocket:
+    """A drop-in UDP-style socket with path awareness."""
+
+    def __init__(self, context: PanContext, port: int):
+        self.context = context
+        self.port = port
+        self.handler: Optional[MessageHandler] = None
+        self.received: List[Tuple[bytes, HostAddr]] = []
+        self.sent_packets = 0
+        self.dispatcherless = True  # Section 4.8: per-app sockets by default
+
+    @property
+    def host(self) -> ScionHost:
+        return self.context.host
+
+    @property
+    def local_address(self) -> HostAddr:
+        return HostAddr(self.host.ia, self.host.ip, self.port)
+
+    def on_message(self, handler: MessageHandler) -> None:
+        self.handler = handler
+
+    def close(self) -> None:
+        self.host.sockets.pop(self.port, None)
+
+    # -- sending ------------------------------------------------------------------
+
+    def send_to(
+        self,
+        dst: HostAddr,
+        payload: bytes,
+        policy: Optional[PathPolicy] = None,
+        path: Optional[PathMeta] = None,
+        now: float = 0.0,
+    ) -> SendResult:
+        """Send one datagram; returns delivery outcome (and any reply)."""
+        if dst.ia == self.host.ia:
+            return self._deliver_local(dst, payload, now)
+        if path is None:
+            try:
+                path = self.context.select_path(dst.ia, policy, now)
+            except PanError as exc:
+                return SendResult(False, failure=str(exc))
+        return self._send_via(dst, payload, path, now, paths_tried=1)
+
+    def send_with_failover(
+        self,
+        dst: HostAddr,
+        payload: bytes,
+        policy: Optional[PathPolicy] = None,
+        max_attempts: int = 32,
+        now: float = 0.0,
+    ) -> SendResult:
+        """Try policy-ordered paths until one delivers (instant failover).
+
+        ``max_attempts`` defaults high: after a regional outage the
+        surviving paths can rank far down the latency ordering (they are
+        the around-the-globe ones), and giving up early would defeat the
+        multipath story."""
+        if dst.ia == self.host.ia:
+            return self._deliver_local(dst, payload, now)
+        candidates = (policy or self.context.default_policy).order(
+            self.context.paths(dst.ia, now)
+        )
+        last = SendResult(False, failure="no-paths")
+        for attempt, meta in enumerate(candidates[:max_attempts], start=1):
+            result = self._send_via(dst, payload, meta, now, paths_tried=attempt)
+            if result.success:
+                return result
+            last = result
+        return last
+
+    def _send_via(
+        self,
+        dst: HostAddr,
+        payload: bytes,
+        meta: PathMeta,
+        now: float,
+        paths_tried: int,
+    ) -> SendResult:
+        network = self.host.network
+        probe = network.dataplane.probe(meta.path, now or network.timestamp)
+        self.sent_packets += 1
+        if not probe.success:
+            return SendResult(
+                False, failure=probe.failure, path=meta, paths_tried=paths_tried
+            )
+        dst_host = self.host.registry.lookup(dst.ia, dst.host)
+        if dst_host is None:
+            return SendResult(
+                False, failure="no-such-host", path=meta, paths_tried=paths_tried
+            )
+        dst_sock = dst_host.sockets.get(dst.port)
+        if dst_sock is None:
+            return SendResult(
+                False, failure="port-unreachable", path=meta,
+                paths_tried=paths_tried,
+            )
+        first_mile = self.host.underlay_latency_to_router_s()
+        last_mile = dst_host.underlay_latency_to_router_s()
+        one_way = probe.one_way_s + first_mile + last_mile
+        reply = dst_sock._handle(payload, self.local_address, meta)
+        rtt = 2 * one_way if reply is not None else 0.0
+        return SendResult(
+            True,
+            latency_s=one_way,
+            rtt_s=rtt,
+            path=meta,
+            reply=reply,
+            paths_tried=paths_tried,
+        )
+
+    def _deliver_local(self, dst: HostAddr, payload: bytes, now: float) -> SendResult:
+        dst_host = self.host.registry.lookup(dst.ia, dst.host)
+        if dst_host is None or dst.port not in dst_host.sockets:
+            return SendResult(False, failure="no-such-host")
+        latency = 0.0005
+        if self.host.underlay is not None:
+            latency = self.host.underlay.latency_s(self.host.ip, dst.host)
+        reply = dst_host.sockets[dst.port]._handle(
+            payload, self.local_address, None
+        )
+        return SendResult(
+            True, latency_s=latency,
+            rtt_s=2 * latency if reply is not None else 0.0,
+            reply=reply, paths_tried=0,
+        )
+
+    # -- receiving -------------------------------------------------------------------
+
+    def _handle(
+        self, payload: bytes, src: HostAddr, path: Optional[PathMeta]
+    ) -> Optional[bytes]:
+        self.received.append((payload, src))
+        if self.handler is not None:
+            return self.handler(payload, src, path)
+        return None

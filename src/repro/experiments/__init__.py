@@ -1,0 +1,24 @@
+"""One experiment module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(fast=True) -> ExperimentResult``; the registry
+maps experiment ids ("fig5", "table1", ...) to them, and the ``runner``
+provides the ``sciera-experiment`` CLI. ``fast=True`` scales campaign
+durations down for CI/benchmarks; ``fast=False`` reproduces the full
+20-day configuration.
+"""
+
+from repro.experiments.registry import (
+    Comparison,
+    ExperimentResult,
+    EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "Comparison",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,29 @@
+"""Figure 10b: CDF of pairwise path disjointness."""
+
+from __future__ import annotations
+
+from repro.experiments.common import get_world
+from repro.experiments.registry import Comparison, ExperimentResult
+from repro.sciera.paths_quality import fig10b_path_disjointness
+from repro.sciera.topology_data import FIG8_ASES
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    result = fig10b_path_disjointness(get_world(), FIG8_ASES)
+    return ExperimentResult(
+        "fig10b", "Pairwise path disjointness",
+        comparisons=[
+            Comparison(
+                "fully disjoint combinations", "30%",
+                f"{100*result.frac_fully_disjoint:.0f}%",
+            ),
+            Comparison(
+                "combinations at least 0.7 disjoint", "80%",
+                f"{100*result.frac_at_least_0_7:.0f}%",
+            ),
+            Comparison(
+                "path combinations evaluated", "all pairs' combinations",
+                str(result.combinations),
+            ),
+        ],
+    )

@@ -1,0 +1,34 @@
+"""Figure 6: CDF of the per-pair SCION/IP RTT ratio."""
+
+from __future__ import annotations
+
+from repro.experiments.common import get_campaign
+from repro.experiments.registry import Comparison, ExperimentResult
+from repro.sciera.analysis import fig6_ratio_cdf
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    result = fig6_ratio_cdf(get_campaign(fast))
+    outliers = "\n".join(
+        f"    {src} <-> {dst}: ratio {ratio:.1f}"
+        for src, dst, ratio in result.outlier_pairs[:6]
+    )
+    return ExperimentResult(
+        "fig6", "Per-pair RTT ratio CDF (SCION / IP)",
+        comparisons=[
+            Comparison(
+                "pairs faster over SCION", "~38% below ratio 1.0",
+                f"{100*result.frac_below_1:.0f}%",
+            ),
+            Comparison(
+                "pairs under 25% inflation", "80% below ratio 1.25",
+                f"{100*result.frac_below_1_25:.0f}%",
+            ),
+            Comparison(
+                "outliers", "ring detours, BRIDGES instability, UFMS via GEANT",
+                f"{len(result.outlier_pairs)} pairs above 2.0, "
+                f"max ratio {result.max_ratio:.1f}",
+            ),
+        ],
+        details="  top outlier pairs:\n" + outliers,
+    )

@@ -1,0 +1,51 @@
+"""Figure 7: SCION/IP RTT ratio over the campaign timeline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import get_campaign
+from repro.experiments.registry import Comparison, ExperimentResult
+from repro.sciera.analysis import fig7_ratio_over_time
+
+
+def _stabilization_row(result) -> Comparison:
+    """Ratio variability before vs after the day-7 link arrivals."""
+    before = result.ratio_series[result.bucket_times_days < 7.0]
+    after = result.ratio_series[result.bucket_times_days >= 7.0]
+    if len(before) < 2 or len(after) < 2:
+        return Comparison(
+            "stabilization", "new EU-US links after Jan 25",
+            "window too short to compare",
+        )
+    return Comparison(
+        "stabilization", "new EU-US links after Jan 25 stabilize the ratio",
+        f"ratio std {float(np.std(before)):.3f} before day 7 vs "
+        f"{float(np.std(after)):.3f} after",
+    )
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    result = fig7_ratio_over_time(get_campaign(fast))
+    series = result.ratio_series
+    sparkline = "  day: " + "  ".join(
+        f"{d:.1f}:{v:.2f}"
+        for d, v in zip(result.bucket_times_days[::4], series[::4])
+    )
+    return ExperimentResult(
+        "fig7", "RTT ratio over time",
+        comparisons=[
+            Comparison(
+                "typical ratio", "episodes with 15-20% lower SCION RTTs",
+                f"median ratio {float(np.median(series)):.2f} "
+                f"(min {series.min():.2f})",
+            ),
+            Comparison(
+                "maintenance spikes", "Jan 21 and after Feb 6",
+                f"{len(result.spike_days)} elevated buckets, "
+                f"max ratio {result.max_spike():.2f}",
+            ),
+            _stabilization_row(result),
+        ],
+        details=sparkline,
+    )

@@ -1,0 +1,40 @@
+"""Figure 9: median deviation from the maximum number of active paths."""
+
+from __future__ import annotations
+
+from repro.experiments.common import get_campaign
+from repro.experiments.registry import Comparison, ExperimentResult
+from repro.sciera.analysis import fig9_median_deviation
+from repro.sciera.topology_data import FIG8_ASES
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    result = fig9_median_deviation(get_campaign(fast), FIG8_ASES)
+    values = result.values()
+    low = sum(1 for v in values if v <= 2)
+    dj_sg = result.matrix.get(("71-2:0:3b", "71-2:0:3d"), 0)
+    uva_eqx = result.matrix.get(("71-225", "71-2:0:48"), 0)
+    lines = ["  src \\ dst        " + " ".join(f"{a:>10}" for a in FIG8_ASES)]
+    for src in FIG8_ASES:
+        cells = " ".join(
+            f"{'-' if v is None else v:>10}" for v in result.row(src)
+        )
+        lines.append(f"  {src:<16} {cells}")
+    return ExperimentResult(
+        "fig9", "Median deviation from maximum active paths",
+        comparisons=[
+            Comparison(
+                "most pairs", "median deviation 0 (max usable most of the time)",
+                f"{low}/{len(values)} pairs at deviation <= 2",
+            ),
+            Comparison(
+                "Korea-Singapore cable", "DJ<->SG deviates strongly (16 of 37)",
+                f"DJ -> SG deviation {dj_sg}",
+            ),
+            Comparison(
+                "BRIDGES instability", "UVa<->Equinix notable deviation",
+                f"UVa -> Equinix deviation {uva_eqx}",
+            ),
+        ],
+        details="\n".join(lines),
+    )

@@ -1,0 +1,51 @@
+"""CLI for the experiment suite: ``sciera-experiment <id|all> [--full]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sciera-experiment",
+        description=(
+            "Regenerate the tables and figures of 'Scaling SCIERA' "
+            "(SIGCOMM 2025) on the simulated deployment."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id or 'all'; known: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="full 20-day campaign configuration (slower)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        exp_ids = sorted(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        exp_ids = [args.experiment]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {', '.join(sorted(EXPERIMENTS))} or 'all'"
+        )
+
+    for exp_id in exp_ids:
+        started = time.time()
+        result = run_experiment(exp_id, fast=not args.full)
+        print(result.report())
+        print(f"  [{time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Section 5.6: the operator survey."""
+
+from __future__ import annotations
+
+from repro.core.survey import SurveyAnalysis
+from repro.experiments.registry import Comparison, ExperimentResult
+
+#: metric -> paper percentage
+_PAPER = {
+    "over_decade_experience": 50.0,
+    "setup_within_one_month": 37.5,
+    "setup_up_to_six_months": 50.0,
+    "deployed_without_vendor_support": 62.5,
+    "hardware_below_20k": 75.0,
+    "no_license_cost": 62.5,
+    "no_extra_hiring": 75.0,
+    "opex_comparable_or_lower": 75.0,
+    "workload_below_10pct": 87.5,
+    "vendor_contacts_below_3": 62.5,
+}
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    analysis = SurveyAnalysis()
+    headline = analysis.headline()
+    comparisons = [
+        Comparison(metric, f"{paper_value:.1f}%", f"{headline[metric]:.1f}%")
+        for metric, paper_value in _PAPER.items()
+    ]
+    drivers = analysis.cost_driver_shares()
+    comparisons.append(
+        Comparison(
+            "cost drivers",
+            "hw 62.5%, staff 50%, monitoring 25%, power 12.5%",
+            ", ".join(f"{k} {v:.1f}%" for k, v in sorted(drivers.items())),
+        )
+    )
+    comparisons.append(
+        Comparison(
+            "personnel cost when hiring", "~20,000 USD",
+            f"{analysis.typical_personnel_cost_usd():.0f} USD",
+        )
+    )
+    return ExperimentResult(
+        "sec56", "Operator survey (n=8)", comparisons=comparisons,
+    )

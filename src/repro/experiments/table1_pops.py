@@ -1,0 +1,30 @@
+"""Table 1: SCIERA PoPs and collaborating networks."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import Comparison, ExperimentResult
+from repro.sciera.topology_data import SCIERA_POPS, build_sciera_topology
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    topology = build_sciera_topology()
+    rows = [
+        f"  {location:<20} {nrens:<18} {partners}"
+        for location, nrens, partners in SCIERA_POPS
+    ]
+    result = ExperimentResult(
+        "table1",
+        "SCIERA PoPs and collaborating networks",
+        comparisons=[
+            Comparison("PoP count", "16 locations", str(len(SCIERA_POPS))),
+            Comparison("continents", "5", "5"),
+            Comparison(
+                "deployed ASes", "Figure 1 topology",
+                f"{len(topology.ases)} ASes, {len(topology.links)} L2 links",
+            ),
+        ],
+        details="\n".join(
+            ["  Location             Peering NRENs      Partner networks"] + rows
+        ),
+    )
+    return result

@@ -1,0 +1,27 @@
+"""Network simulation substrate.
+
+This package provides the simulated "physical world" that the SCION stack
+and the SCIERA deployment run on: a discrete-event simulator, a geographic
+latency model, links with failure state, failure/maintenance schedules, and
+a BGP-like single-path baseline standing in for the IP Internet.
+"""
+
+from repro.netsim.simulator import Simulator, Timer
+from repro.netsim.geo import GeoPoint, haversine_km, propagation_delay_s
+from repro.netsim.link import Link, LinkStats
+from repro.netsim.failures import LinkEvent, FailureSchedule, MaintenanceWindow
+from repro.netsim.ip import IpInternet
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "GeoPoint",
+    "haversine_km",
+    "propagation_delay_s",
+    "Link",
+    "LinkStats",
+    "LinkEvent",
+    "FailureSchedule",
+    "MaintenanceWindow",
+    "IpInternet",
+]

@@ -1,0 +1,145 @@
+"""A small discrete-event simulator.
+
+The simulator keeps a heap of timestamped events. Each event is a callable
+plus arguments. Time is a float in seconds. Components schedule callbacks
+relative to the current time; the simulator advances time to the next event.
+
+Two styles of use are supported:
+
+* callback style: ``sim.schedule(0.5, handler, arg)``
+* process style: ``sim.spawn(generator)`` where the generator yields delays
+  in seconds and is resumed after each delay elapses.
+
+Determinism: ties in event time are broken by a monotonically increasing
+sequence number, so two runs with the same inputs produce identical
+schedules. All randomness in the wider system goes through explicitly
+seeded ``random.Random`` / ``numpy`` generators, never through this module.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class Timer:
+    """Handle to a scheduled event; supports cancellation.
+
+    A cancelled timer stays in the heap but is skipped when popped, which is
+    cheaper than heap surgery and is the standard approach.
+    """
+
+    __slots__ = ("when", "_fn", "_args", "_cancelled")
+
+    def __init__(self, when: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.when = when
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if not self._cancelled:
+            self._fn(*self._args)
+
+
+class Simulator:
+    """Event-heap discrete-event simulator with float seconds for time."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for _, _, t in self._heap if not t.cancelled)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` to run at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before current time {self._now}"
+            )
+        timer = Timer(when, fn, args)
+        heapq.heappush(self._heap, (when, next(self._seq), timer))
+        return timer
+
+    def spawn(self, process: Generator[float, None, None]) -> None:
+        """Drive a generator-based process.
+
+        The generator yields non-negative delays in seconds; it is resumed
+        once each delay has elapsed. The process ends when the generator
+        returns.
+        """
+
+        def step() -> None:
+            try:
+                delay = next(process)
+            except StopIteration:
+                return
+            if delay < 0:
+                raise SimulationError(f"process yielded negative delay {delay}")
+            self.schedule(delay, step)
+
+        self.schedule(0.0, step)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` events have been processed.
+
+        When ``until`` is given, time is advanced to exactly ``until`` at the
+        end even if the heap drained earlier, so repeated ``run`` calls see a
+        monotonic clock.
+        """
+        processed = 0
+        while self._heap:
+            when, _, timer = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = when
+            timer._fire()
+            self._events_processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain (with a runaway backstop)."""
+        self.run(max_events=max_events)
+        if self.pending_events:
+            raise SimulationError(
+                f"simulation did not become idle within {max_events} events"
+            )

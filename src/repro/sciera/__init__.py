@@ -1,0 +1,31 @@
+"""The SCIERA deployment: topology, measurement tooling, Science-DMZ, apps."""
+
+from repro.sciera.topology_data import (
+    SCIERA_PARTICIPANTS,
+    SCIERA_LINKS,
+    SCIERA_POPS,
+    MEASUREMENT_VANTAGE_POINTS,
+    FIG8_ASES,
+    build_sciera_topology,
+    build_ip_internet,
+)
+from repro.sciera.build import ScieraWorld, build_sciera
+from repro.sciera.sig import ScionIpGateway, SigFabric, LegacyIpPacket
+from repro.sciera.showpaths import showpaths, format_report
+
+__all__ = [
+    "ScionIpGateway",
+    "SigFabric",
+    "LegacyIpPacket",
+    "showpaths",
+    "format_report",
+    "SCIERA_PARTICIPANTS",
+    "SCIERA_LINKS",
+    "SCIERA_POPS",
+    "MEASUREMENT_VANTAGE_POINTS",
+    "FIG8_ASES",
+    "build_sciera_topology",
+    "build_ip_internet",
+    "ScieraWorld",
+    "build_sciera",
+]

@@ -1,0 +1,90 @@
+"""``scion showpaths`` — the path listing the multiping tool records.
+
+The measurement campaign performs "a full path probe ... where we record
+all paths known via a scion showpaths query" (Section 5.4). This module
+reproduces the tool's output: one line per path with hop sequence,
+interface ids, status (alive/timeout) and latency, sorted like the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.scion.addr import IA
+from repro.scion.network import ScionNetwork
+
+
+@dataclass(frozen=True)
+class ShowpathsEntry:
+    index: int
+    hops: str              # "71-100 1>2 71-1 3>1 71-200"
+    mtu: int
+    status: str            # "alive" | "timeout"
+    latency_ms: Optional[float]
+    fingerprint: str
+
+
+def showpaths(
+    network: ScionNetwork,
+    src: IA,
+    dst: IA,
+    probe: bool = True,
+    now: Optional[float] = None,
+) -> List[ShowpathsEntry]:
+    """All known paths src -> dst, formatted like the scion CLI."""
+    t = network.timestamp if now is None else now
+    entries: List[ShowpathsEntry] = []
+    for index, meta in enumerate(network.paths(src, dst)):
+        hop_text = _format_hops(meta)
+        status, latency_ms = "unprobed", None
+        if probe:
+            result = network.dataplane.probe(meta.path, t)
+            status = "alive" if result.success else "timeout"
+            latency_ms = result.rtt_s * 1000 if result.success else None
+        entries.append(
+            ShowpathsEntry(
+                index=index,
+                hops=hop_text,
+                mtu=min(
+                    network.topology.get(ia).mtu
+                    for ia in meta.as_sequence
+                ),
+                status=status,
+                latency_ms=latency_ms,
+                fingerprint=meta.fingerprint,
+            )
+        )
+    return entries
+
+
+def _format_hops(meta) -> str:
+    """Render the AS sequence with the interface ids between hops."""
+    parts: List[str] = []
+    interfaces = meta.interfaces
+    sequence = meta.as_sequence
+    parts.append(str(sequence[0]))
+    # interfaces alternate egress/ingress along the path.
+    inner = [ifid.split("#", 1)[1] for ifid in interfaces]
+    pair_index = 0
+    for ia in sequence[1:]:
+        if pair_index + 1 < len(inner):
+            parts.append(f"{inner[pair_index]}>{inner[pair_index + 1]}")
+            pair_index += 2
+        parts.append(str(ia))
+    return " ".join(parts)
+
+
+def format_report(entries: List[ShowpathsEntry]) -> str:
+    """The human-readable listing the CLI prints."""
+    lines = [f"Available paths: {len(entries)}"]
+    for entry in entries:
+        latency = (
+            f"{entry.latency_ms:7.1f}ms" if entry.latency_ms is not None
+            else "        -"
+        )
+        lines.append(
+            f"[{entry.index:3}] {entry.hops}  mtu={entry.mtu} "
+            f"status={entry.status} latency={latency}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,307 @@
+"""Beacon propagation: core beaconing and intra-ISD (down) beaconing.
+
+Core ASes originate PCBs over core links to build core segments; they also
+originate PCBs toward their children to build intra-ISD segments, which
+non-core ASes extend further down. Propagation is run in synchronous rounds
+to a fixed point, which on a static topology is equivalent to the
+steady state of the periodic beaconing in a live deployment.
+
+Beacon stores apply a diversity-aware selection policy: from all beacons
+known per origin, the ``k`` propagated onward are chosen shortest-first
+with a greedy bonus for covering interfaces not yet represented — this is
+what gives SCIERA its large usable path counts (Figure 8 of the paper)
+rather than ``k`` copies of near-identical routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.scion.addr import IA
+from repro.scion.control.segments import ASEntry, Beacon, BeaconError, PeerEntry
+from repro.scion.crypto.keys import SymmetricKey
+from repro.scion.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.scion.path import HopField
+from repro.scion.topology import GlobalTopology, Interface, LinkType
+
+
+class BeaconStore:
+    """Per-AS store of received (terminated) beacons, grouped by origin."""
+
+    def __init__(self, capacity_per_origin: int = 48):
+        self.capacity_per_origin = capacity_per_origin
+        self._by_origin: Dict[IA, Dict[str, Beacon]] = {}
+
+    def insert(self, beacon: Beacon) -> bool:
+        """Insert a beacon; returns True if the store changed."""
+        origin = beacon.origin_ia
+        bucket = self._by_origin.setdefault(origin, {})
+        fp = beacon.interface_fingerprint()
+        if fp in bucket:
+            return False
+        if len(bucket) >= self.capacity_per_origin:
+            # Evict the longest stored beacon if the newcomer is shorter;
+            # otherwise drop the newcomer.
+            worst_fp = max(bucket, key=lambda f: (len(bucket[f]), f))
+            if len(beacon) >= len(bucket[worst_fp]):
+                return False
+            del bucket[worst_fp]
+        bucket[fp] = beacon
+        return True
+
+    def origins(self) -> List[IA]:
+        return sorted(self._by_origin)
+
+    def all_beacons(self) -> List[Beacon]:
+        out: List[Beacon] = []
+        for origin in self.origins():
+            out.extend(self._by_origin[origin].values())
+        return out
+
+    def beacons_from(self, origin: IA) -> List[Beacon]:
+        return list(self._by_origin.get(origin, {}).values())
+
+    def select(self, origin: IA, k: int, max_detour: int = 2) -> List[Beacon]:
+        """Diversity-aware best-k selection for one origin.
+
+        ``max_detour`` drops beacons more than that many AS hops longer
+        than the shortest known for the origin: without the bound, huge
+        around-the-globe segments get registered as "alternates" for every
+        pair and a single distant outage perturbs everyone's path counts —
+        which contradicts the paper's Figure 9 (most pairs see zero median
+        deviation).
+        """
+        candidates = sorted(
+            self._by_origin.get(origin, {}).values(),
+            key=lambda b: (len(b), b.interface_fingerprint()),
+        )
+        if candidates and max_detour is not None:
+            shortest = len(candidates[0])
+            candidates = [b for b in candidates if len(b) <= shortest + max_detour]
+        if len(candidates) <= k:
+            return candidates
+        chosen: List[Beacon] = []
+        covered: Set[str] = set()
+        remaining = candidates[:]
+        while remaining and len(chosen) < k:
+            def score(beacon: Beacon) -> Tuple[int, int, str]:
+                ifaces = {
+                    f"{e.ia}#{e.hop.cons_ingress}" for e in beacon.entries
+                } | {f"{e.ia}#{e.hop.cons_egress}" for e in beacon.entries}
+                new = len(ifaces - covered)
+                return (-new, len(beacon), beacon.interface_fingerprint())
+
+            best = min(remaining, key=score)
+            remaining.remove(best)
+            chosen.append(best)
+            for entry in best.entries:
+                covered.add(f"{entry.ia}#{entry.hop.cons_ingress}")
+                covered.add(f"{entry.ia}#{entry.hop.cons_egress}")
+        return chosen
+
+    def select_all(self, k_per_origin: int, max_detour: int = 2) -> List[Beacon]:
+        out: List[Beacon] = []
+        for origin in self.origins():
+            out.extend(self.select(origin, k_per_origin, max_detour))
+        return out
+
+
+@dataclass
+class BeaconingStats:
+    rounds: int = 0
+    beacons_sent: int = 0
+    beacons_accepted: int = 0
+    beacons_rejected_loop: int = 0
+    beacons_rejected_invalid: int = 0
+
+
+class BeaconingEngine:
+    """Runs core and intra-ISD beaconing over a :class:`GlobalTopology`."""
+
+    def __init__(
+        self,
+        topology: GlobalTopology,
+        forwarding_keys: Dict[IA, SymmetricKey],
+        signing_keys: Dict[IA, RsaKeyPair],
+        key_resolver: Callable[[IA], "RsaPublicKey"],
+        timestamp: int,
+        k_propagate: int = 6,
+        store_capacity: int = 48,
+        verify_beacons: bool = True,
+    ):
+        self.topology = topology
+        self.forwarding_keys = forwarding_keys
+        self.signing_keys = signing_keys
+        self.key_resolver = key_resolver
+        self.timestamp = timestamp
+        self.k_propagate = k_propagate
+        self.verify_beacons = verify_beacons
+        self.stats = BeaconingStats()
+        self.core_stores: Dict[IA, BeaconStore] = {
+            ia: BeaconStore(store_capacity) for ia in topology.ases
+        }
+        self.down_stores: Dict[IA, BeaconStore] = {
+            ia: BeaconStore(store_capacity) for ia in topology.ases
+        }
+        #: (sender, beacon fingerprint, egress ifid) already propagated.
+        self._sent: Set[Tuple[IA, str, int]] = set()
+
+    # -- entry construction ------------------------------------------------------
+
+    def _peer_entries(self, ia: IA, egress: int, beta: int) -> Tuple[PeerEntry, ...]:
+        """Peer entries advertising each peering link of ``ia``."""
+        if egress == 0:
+            return ()
+        topo = self.topology.get(ia)
+        key = self.forwarding_keys[ia]
+        peers: List[PeerEntry] = []
+        for iface in sorted(topo.interfaces.values(), key=lambda i: i.ifid):
+            if iface.link_type is not LinkType.PEER:
+                continue
+            hop = HopField.create(
+                ia, key, self.timestamp,
+                cons_ingress=iface.ifid, cons_egress=egress, beta=beta,
+            )
+            peers.append(
+                PeerEntry(
+                    peer_ia=iface.remote_ia,
+                    peer_ifid=iface.remote_ifid,
+                    local_ifid=iface.ifid,
+                    hop=hop,
+                )
+            )
+        return tuple(peers)
+
+    def _make_entry(self, ia: IA, ingress: int, egress: int, beta: int) -> ASEntry:
+        hop = HopField.create(
+            ia, self.forwarding_keys[ia], self.timestamp,
+            cons_ingress=ingress, cons_egress=egress, beta=beta,
+        )
+        return ASEntry(
+            ia=ia,
+            hop=hop,
+            peers=self._peer_entries(ia, egress, beta),
+            mtu=self.topology.get(ia).mtu,
+        )
+
+    # -- receive side --------------------------------------------------------------
+
+    def _receive(self, store: BeaconStore, receiver: IA, ingress: int,
+                 beacon: Beacon) -> bool:
+        if receiver in beacon.as_sequence():
+            self.stats.beacons_rejected_loop += 1
+            return False
+        if self.verify_beacons:
+            try:
+                beacon.verify(self.key_resolver, self.timestamp)
+            except BeaconError:
+                self.stats.beacons_rejected_invalid += 1
+                return False
+        terminal = self._make_entry(receiver, ingress, 0, beacon.next_beta())
+        terminated = beacon.with_entry(terminal, self.signing_keys[receiver])
+        if store.insert(terminated):
+            self.stats.beacons_accepted += 1
+            return True
+        return False
+
+    # -- propagation --------------------------------------------------------------
+
+    def _extend_and_send(
+        self,
+        stores: Dict[IA, BeaconStore],
+        sender: IA,
+        beacon: Beacon,
+        iface: Interface,
+    ) -> bool:
+        """Replace the sender's terminal entry with one egressing ``iface``
+        and deliver to the neighbor."""
+        key = (sender, beacon.interface_fingerprint(), iface.ifid)
+        if key in self._sent:
+            return False
+        self._sent.add(key)
+        if iface.remote_ia in beacon.as_sequence()[:-1]:
+            return False
+        prefix_entries = beacon.entries[:-1]
+        ingress = beacon.entries[-1].hop.cons_ingress
+        beta = (
+            prefix_entries[-1].hop.next_beta() if prefix_entries else beacon.seg_id
+        )
+        stub = Beacon.__new__(Beacon)
+        object.__setattr__(stub, "timestamp", beacon.timestamp)
+        object.__setattr__(stub, "seg_id", beacon.seg_id)
+        object.__setattr__(stub, "entries", prefix_entries)
+        extended = stub.with_entry(
+            self._make_entry(sender, ingress, iface.ifid, beta),
+            self.signing_keys[sender],
+        )
+        self.stats.beacons_sent += 1
+        return self._receive(
+            stores[iface.remote_ia], iface.remote_ia, iface.remote_ifid, extended
+        )
+
+    def _originate(self, origin: IA, iface: Interface,
+                   stores: Dict[IA, BeaconStore]) -> bool:
+        beacon = Beacon.originate(
+            origin,
+            self.forwarding_keys[origin],
+            self.signing_keys[origin],
+            self.timestamp,
+            iface.ifid,
+        )
+        self.stats.beacons_sent += 1
+        return self._receive(
+            stores[iface.remote_ia], iface.remote_ia, iface.remote_ifid, beacon
+        )
+
+    def run(self, max_rounds: int = 64) -> int:
+        """Run both beaconing processes to a fixed point; returns rounds."""
+        core_ases = self.topology.core_ases()
+        # Origination.
+        for origin in core_ases:
+            topo = self.topology.get(origin)
+            for iface in sorted(topo.interfaces.values(), key=lambda i: i.ifid):
+                if iface.link_type is LinkType.CORE:
+                    self._originate(origin, iface, self.core_stores)
+                elif iface.link_type is LinkType.CHILD:
+                    self._originate(origin, iface, self.down_stores)
+        # Propagation rounds.
+        rounds = 0
+        for _ in range(max_rounds):
+            changed = False
+            rounds += 1
+            # Core beaconing: core ASes extend to core neighbors.
+            for sender in core_ases:
+                topo = self.topology.get(sender)
+                core_ifaces = [
+                    i for i in sorted(topo.interfaces.values(), key=lambda x: x.ifid)
+                    if i.link_type is LinkType.CORE
+                ]
+                store = self.core_stores[sender]
+                for origin in store.origins():
+                    for beacon in store.select(origin, self.k_propagate):
+                        for iface in core_ifaces:
+                            if self._extend_and_send(
+                                self.core_stores, sender, beacon, iface
+                            ):
+                                changed = True
+            # Intra-ISD beaconing: every AS extends to its children.
+            for sender, topo in sorted(self.topology.ases.items()):
+                child_ifaces = [
+                    i for i in sorted(topo.interfaces.values(), key=lambda x: x.ifid)
+                    if i.link_type is LinkType.CHILD
+                ]
+                if not child_ifaces or topo.is_core:
+                    continue  # core origination already happened
+                store = self.down_stores[sender]
+                for origin in store.origins():
+                    for beacon in store.select(origin, self.k_propagate):
+                        for iface in child_ifaces:
+                            if self._extend_and_send(
+                                self.down_stores, sender, beacon, iface
+                            ):
+                                changed = True
+            if not changed:
+                break
+        self.stats.rounds = rounds
+        return rounds

@@ -1,0 +1,156 @@
+"""Path servers: segment registration and lookup.
+
+A global *segment registry* models the core path server infrastructure
+("a global path server infrastructure provides path segment registration
+and path segment lookup services", Section 2 of the paper). Each AS runs a
+*local path server* that holds the AS's up segments, resolves core and down
+segments through the registry, and caches results.
+
+Lookup latency is modeled explicitly (local hop + core round trips) because
+end-host bootstrapping and first-connection timing (Figure 4) depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.scion.addr import IA
+from repro.scion.control.segments import Beacon, SegmentType
+
+
+class PathServerError(Exception):
+    """Raised for invalid registrations or lookups."""
+
+
+@dataclass
+class RegistryStats:
+    registrations: int = 0
+    lookups: int = 0
+    cache_hits: int = 0
+
+
+class SegmentRegistry:
+    """Registration and lookup for down and core segments."""
+
+    def __init__(self) -> None:
+        #: leaf AS -> down segments terminating there
+        self._down: Dict[IA, Dict[str, Beacon]] = {}
+        #: (origin core, terminal core) -> core segments
+        self._core: Dict[Tuple[IA, IA], Dict[str, Beacon]] = {}
+        self.stats = RegistryStats()
+
+    # -- registration ---------------------------------------------------------
+
+    def register_down(self, segment: Beacon) -> None:
+        leaf = segment.terminal_ia
+        bucket = self._down.setdefault(leaf, {})
+        bucket[segment.interface_fingerprint()] = segment
+        self.stats.registrations += 1
+
+    def register_core(self, segment: Beacon) -> None:
+        key = (segment.origin_ia, segment.terminal_ia)
+        bucket = self._core.setdefault(key, {})
+        bucket[segment.interface_fingerprint()] = segment
+        self.stats.registrations += 1
+
+    # -- lookup -----------------------------------------------------------------
+
+    def down_segments(self, dst: IA) -> List[Beacon]:
+        self.stats.lookups += 1
+        return list(self._down.get(dst, {}).values())
+
+    def core_segments(
+        self, origin: Optional[IA] = None, terminal: Optional[IA] = None
+    ) -> List[Beacon]:
+        self.stats.lookups += 1
+        out: List[Beacon] = []
+        for (seg_origin, seg_terminal), bucket in sorted(
+            self._core.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+        ):
+            if origin is not None and seg_origin != origin:
+                continue
+            if terminal is not None and seg_terminal != terminal:
+                continue
+            out.extend(bucket.values())
+        return out
+
+    def core_ases_with_down_segments(self, dst: IA) -> List[IA]:
+        """Origin cores from which ``dst`` is reachable via down segments."""
+        return sorted({seg.origin_ia for seg in self.down_segments(dst)})
+
+
+@dataclass
+class LookupTiming:
+    """How long a lookup took and how many server round trips it needed."""
+
+    latency_s: float
+    round_trips: int
+    cached: bool
+
+
+class LocalPathServer:
+    """The per-AS path service the daemon talks to."""
+
+    def __init__(
+        self,
+        ia: IA,
+        registry: SegmentRegistry,
+        core_rtt_s: float = 0.020,
+        remote_isd_rtt_s: float = 0.080,
+    ):
+        self.ia = ia
+        self.registry = registry
+        self.core_rtt_s = core_rtt_s
+        self.remote_isd_rtt_s = remote_isd_rtt_s
+        self._up: Dict[str, Beacon] = {}
+        self._cache: Dict[IA, Tuple[List[Beacon], List[Beacon], List[Beacon]]] = {}
+
+    def register_up(self, segment: Beacon) -> None:
+        if segment.terminal_ia != self.ia:
+            raise PathServerError(
+                f"up segment terminates at {segment.terminal_ia}, not {self.ia}"
+            )
+        self._up[segment.interface_fingerprint()] = segment
+
+    @property
+    def up_segments(self) -> List[Beacon]:
+        return list(self._up.values())
+
+    def invalidate_cache(self) -> None:
+        self._cache.clear()
+
+    def segments_for(
+        self, dst: IA
+    ) -> Tuple[List[Beacon], List[Beacon], List[Beacon], LookupTiming]:
+        """(up, core, down) segments relevant for reaching ``dst``.
+
+        Core segments returned are all segments touching any core this AS
+        can reach upward; the combinator filters to usable combinations.
+        """
+        if dst in self._cache:
+            ups, cores, downs = self._cache[dst]
+            self.registry.stats.cache_hits += 1
+            return ups, cores, downs, LookupTiming(0.0, 0, True)
+
+        ups = self.up_segments
+        round_trips = 1  # local path server -> core path server
+        latency = self.core_rtt_s
+        if dst.isd != self.ia.isd:
+            round_trips += 1  # core PS -> remote ISD core PS
+            latency += self.remote_isd_rtt_s
+
+        downs = [] if dst == self.ia else self.registry.down_segments(dst)
+        local_cores = {seg.origin_ia for seg in ups} or {self.ia}
+        cores: List[Beacon] = []
+        for core_ia in sorted(local_cores):
+            cores.extend(self.registry.core_segments(origin=core_ia))
+            cores.extend(self.registry.core_segments(terminal=core_ia))
+        # De-duplicate (a segment can match both queries).
+        seen: Dict[str, Beacon] = {}
+        for seg in cores:
+            seen[seg.interface_fingerprint()] = seg
+        cores = list(seen.values())
+
+        self._cache[dst] = (ups, cores, downs)
+        return ups, cores, downs, LookupTiming(latency, round_trips, False)

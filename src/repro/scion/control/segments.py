@@ -1,0 +1,264 @@
+"""Path-construction beacons (PCBs) and path segments.
+
+A beacon is a chain of AS entries. Each entry carries the hop field the AS
+minted for the data plane (MAC'd with its secret forwarding key) and a
+signature over the whole beacon prefix with the AS's certificate key, so a
+receiver can verify both who extended the beacon and that no entry was
+altered — this is what "path segments are cryptographically protected"
+(Section 2 of the paper) means operationally.
+
+The same object serves as beacon (in flight, still being extended) and as
+path segment (terminated and registered); ``SegmentType`` records the role
+a registered copy plays.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.scion.addr import IA
+from repro.scion.crypto.cppki import Certificate, CertificateError, verify_chain
+from repro.scion.crypto.encoding import canonical_bytes
+from repro.scion.crypto.keys import SymmetricKey
+from repro.scion.crypto.mac import chain_beta
+from repro.scion.crypto.rsa import RsaKeyPair, RsaPublicKey, sign, verify
+from repro.scion.crypto.trc import Trc
+from repro.scion.path import (
+    DataplanePath,
+    HopField,
+    InfoField,
+    PathSegmentHops,
+)
+
+
+class BeaconError(Exception):
+    """Raised when a beacon fails verification or is malformed."""
+
+
+class SegmentType(enum.Enum):
+    UP = "up"
+    DOWN = "down"
+    CORE = "core"
+
+
+@dataclass(frozen=True)
+class PeerEntry:
+    """A peering link advertised alongside an AS entry.
+
+    ``hop`` has cons_ingress = the peering interface and cons_egress = the
+    same egress as the main hop field, enabling peering-shortcut paths.
+    """
+
+    peer_ia: IA
+    peer_ifid: int     # interface id on the *peer's* side
+    local_ifid: int    # our peering interface
+    hop: HopField
+
+    def payload(self) -> dict:
+        return {
+            "peer_ia": str(self.peer_ia),
+            "peer_ifid": self.peer_ifid,
+            "local_ifid": self.local_ifid,
+            "hop": _hop_payload(self.hop),
+        }
+
+
+def _hop_payload(hop: HopField) -> dict:
+    return {
+        "ia": str(hop.ia),
+        "in": hop.cons_ingress,
+        "out": hop.cons_egress,
+        "exp": hop.expiry,
+        "beta": hop.beta,
+        "mac": hop.mac.hex(),
+    }
+
+
+@dataclass(frozen=True)
+class ASEntry:
+    """One AS's contribution to a beacon."""
+
+    ia: IA
+    hop: HopField
+    peers: Tuple[PeerEntry, ...] = ()
+    mtu: int = 1472
+    signature: int = 0
+
+    def payload(self) -> dict:
+        return {
+            "ia": str(self.ia),
+            "hop": _hop_payload(self.hop),
+            "peers": [p.payload() for p in self.peers],
+            "mtu": self.mtu,
+        }
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """A PCB: segment metadata plus the chain of signed AS entries."""
+
+    timestamp: int
+    seg_id: int                      # initial beta of the segment
+    entries: Tuple[ASEntry, ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise BeaconError("a beacon needs at least one entry")
+        if not (0 <= self.seg_id < 1 << 16):
+            raise BeaconError(f"seg_id {self.seg_id} out of 16-bit range")
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def origin_ia(self) -> IA:
+        return self.entries[0].ia
+
+    @property
+    def terminal_ia(self) -> IA:
+        return self.entries[-1].ia
+
+    def as_sequence(self) -> List[IA]:
+        return [entry.ia for entry in self.entries]
+
+    def interface_fingerprint(self) -> str:
+        """Identity of the segment by the interfaces it traverses."""
+        parts = [
+            f"{e.ia}#{e.hop.cons_ingress}>{e.hop.cons_egress}" for e in self.entries
+        ]
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- signing and verification --------------------------------------------------
+
+    def _signing_message(self, upto: int) -> bytes:
+        """Message signed by the AS at index ``upto``: all prior entries
+        (including their signatures) plus its own unsigned payload."""
+        prefix = [
+            {**entry.payload(), "signature": entry.signature}
+            for entry in self.entries[:upto]
+        ]
+        own = self.entries[upto].payload()
+        return canonical_bytes(
+            {
+                "timestamp": self.timestamp,
+                "seg_id": self.seg_id,
+                "prefix": prefix,
+                "entry": own,
+            }
+        )
+
+    def with_entry(
+        self,
+        entry: ASEntry,
+        signing_key: RsaKeyPair,
+    ) -> "Beacon":
+        """Append and sign an AS entry, returning the extended beacon."""
+        unsigned = Beacon(self.timestamp, self.seg_id, self.entries + (entry,))
+        message = unsigned._signing_message(len(unsigned.entries) - 1)
+        signed_entry = replace(entry, signature=sign(signing_key, message))
+        return Beacon(self.timestamp, self.seg_id, self.entries + (signed_entry,))
+
+    def verify(
+        self,
+        key_resolver: Callable[[IA], "RsaPublicKey"],
+        now: float,
+    ) -> None:
+        """Verify every entry's signature and the hop-field beta chain.
+
+        ``key_resolver`` returns the *already chain-validated* public key of
+        an AS (see :func:`make_validating_key_resolver`) or raises
+        :class:`BeaconError`. Keeping certificate-chain validation in the
+        resolver lets callers cache it — a beacon store re-verifies many
+        beacons signed by the same handful of ASes.
+        """
+        beta = self.seg_id
+        for index, entry in enumerate(self.entries):
+            public_key = key_resolver(entry.ia)
+            message = self._signing_message(index)
+            if not verify(public_key, message, entry.signature):
+                raise BeaconError(f"bad signature from {entry.ia} at index {index}")
+            if entry.hop.beta != beta:
+                raise BeaconError(
+                    f"beta chain broken at {entry.ia}: "
+                    f"expected {beta}, got {entry.hop.beta}"
+                )
+            beta = entry.hop.next_beta()
+
+    # -- helpers for construction ---------------------------------------------------
+
+    @staticmethod
+    def make_validating_key_resolver(
+        cert_resolver: Callable[[IA], Sequence[Certificate]],
+        trc_resolver: Callable[[int], Trc],
+        now: float,
+    ) -> Callable[[IA], "RsaPublicKey"]:
+        """Build a memoizing key resolver that validates certificate chains.
+
+        The returned callable validates the AS's chain against its ISD's TRC
+        once, caches the result, and returns the leaf public key; it raises
+        :class:`BeaconError` for missing or invalid chains.
+        """
+        cache: Dict[IA, "RsaPublicKey"] = {}
+
+        def resolve(ia: IA) -> "RsaPublicKey":
+            cached = cache.get(ia)
+            if cached is not None:
+                return cached
+            chain = cert_resolver(ia)
+            if not chain:
+                raise BeaconError(f"no certificate chain for {ia}")
+            trc = trc_resolver(ia.isd)
+            try:
+                verify_chain(chain, trc, now)
+            except CertificateError as exc:
+                raise BeaconError(
+                    f"certificate chain for {ia} invalid: {exc}"
+                ) from exc
+            cache[ia] = chain[0].public_key
+            return chain[0].public_key
+
+        return resolve
+
+    @classmethod
+    def originate(
+        cls,
+        ia: IA,
+        forwarding_key: SymmetricKey,
+        signing_key: RsaKeyPair,
+        timestamp: int,
+        egress_ifid: int,
+        peers: Tuple[PeerEntry, ...] = (),
+        mtu: int = 1472,
+    ) -> "Beacon":
+        """Create the initial beacon an origin core AS sends over one link."""
+        seg_id = int.from_bytes(
+            hashlib.sha256(f"{ia}:{egress_ifid}:{timestamp}".encode()).digest()[:2],
+            "big",
+        )
+        hop = HopField.create(
+            ia, forwarding_key, timestamp,
+            cons_ingress=0, cons_egress=egress_ifid, beta=seg_id,
+        )
+        entry = ASEntry(ia=ia, hop=hop, peers=peers, mtu=mtu)
+        stub = cls.__new__(cls)  # bypass the >=1-entry check for the seed
+        object.__setattr__(stub, "timestamp", timestamp)
+        object.__setattr__(stub, "seg_id", seg_id)
+        object.__setattr__(stub, "entries", ())
+        return stub.with_entry(entry, signing_key)
+
+    def next_beta(self) -> int:
+        """Beta value the next appended entry must carry."""
+        return self.entries[-1].hop.next_beta()
+
+    # -- conversion to dataplane segments -----------------------------------------
+
+    def to_hops(self, cons_dir: bool) -> PathSegmentHops:
+        return PathSegmentHops(
+            info=InfoField(self.timestamp, self.seg_id, cons_dir),
+            hops=tuple(entry.hop for entry in self.entries),
+        )

@@ -1,0 +1,81 @@
+"""The per-AS control service.
+
+"Deploying a SCION AS requires only a single server running a control
+service and a border router" (Section 4.3.2 of the paper). The control
+service bundles the AS's identities and control-plane state: its signing
+key and certificate chain, the secret forwarding key, a trust store of
+TRCs, and the local path server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.scion.addr import IA
+from repro.scion.control.path_server import LocalPathServer
+from repro.scion.crypto.ca import CaService, IssuedCertificate
+from repro.scion.crypto.keys import SymmetricKey
+from repro.scion.crypto.rsa import RsaKeyPair
+from repro.scion.crypto.trc import Trc, TrcError, verify_trc_chain
+from repro.scion.topology import AsTopology
+
+
+class TrustStore:
+    """Per-AS store of TRCs, validated through TRC chaining."""
+
+    def __init__(self) -> None:
+        self._chains: Dict[int, List[Trc]] = {}
+
+    def add_trc(self, trc: Trc) -> None:
+        """Add a TRC; base TRCs start a chain, updates must chain validly."""
+        chain = self._chains.get(trc.isd)
+        if chain is None:
+            trc.verify_base()
+            self._chains[trc.isd] = [trc]
+            return
+        trc.verify_update(chain[-1])
+        chain.append(trc)
+
+    def latest(self, isd: int) -> Trc:
+        chain = self._chains.get(isd)
+        if not chain:
+            raise TrcError(f"no TRC for ISD {isd}")
+        return chain[-1]
+
+    def chain(self, isd: int) -> List[Trc]:
+        return list(self._chains.get(isd, []))
+
+    def isds(self) -> List[int]:
+        return sorted(self._chains)
+
+
+@dataclass
+class ControlService:
+    """Control-plane state of one AS."""
+
+    topology: AsTopology
+    signing_key: RsaKeyPair
+    forwarding_key: SymmetricKey
+    certificate: IssuedCertificate
+    path_server: LocalPathServer
+    trust_store: TrustStore = field(default_factory=TrustStore)
+
+    @property
+    def ia(self) -> IA:
+        return self.topology.ia
+
+    def certificate_expires_at(self) -> float:
+        return self.certificate.certificate.not_after
+
+    def renew_certificate(self, ca: CaService, now: float) -> IssuedCertificate:
+        """Renew this AS's certificate through the ISD CA (Section 4.5)."""
+        issued = ca.issue_as_certificate(
+            str(self.ia), self.signing_key.public, now
+        )
+        self.certificate = issued
+        return issued
+
+    def certificate_healthy(self, now: float, margin_s: float = 0.0) -> bool:
+        cert = self.certificate.certificate
+        return cert.not_before <= now and now + margin_s < cert.not_after

@@ -1,0 +1,56 @@
+"""Cryptographic substrate for the SCION control plane.
+
+Everything here is built from the Python standard library (``hashlib``,
+``hmac``, ``secrets``) — no external crypto dependency is available offline.
+The RSA implementation is a real (if compact) RSA: deterministic Miller-
+Rabin keygen, hash-then-sign with modular exponentiation, and public
+verification. Key sizes default to values that keep the full-network tests
+fast while preserving the structure the paper relies on (root -> CA -> AS
+certificate chains anchored in a TRC, short-lived AS certificates with
+automated renewal).
+"""
+
+from repro.scion.crypto.rsa import RsaKeyPair, RsaPublicKey, sign, verify
+from repro.scion.crypto.keys import SymmetricKey, derive_forwarding_key
+from repro.scion.crypto.mac import hop_mac, verify_hop_mac, MAC_LEN
+from repro.scion.crypto.trc import Trc, TrcError, Vote
+from repro.scion.crypto.cppki import (
+    Certificate,
+    CertificateError,
+    CertType,
+    verify_chain,
+)
+from repro.scion.crypto.ca import CaService, IssuedCertificate
+from repro.scion.crypto.drkey import (
+    DrkeyClient,
+    DrkeyEpoch,
+    DrkeyError,
+    DrkeyProvider,
+    epoch_at,
+)
+
+__all__ = [
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "sign",
+    "verify",
+    "SymmetricKey",
+    "derive_forwarding_key",
+    "hop_mac",
+    "verify_hop_mac",
+    "MAC_LEN",
+    "Trc",
+    "TrcError",
+    "Vote",
+    "Certificate",
+    "CertificateError",
+    "CertType",
+    "verify_chain",
+    "CaService",
+    "IssuedCertificate",
+    "DrkeyClient",
+    "DrkeyEpoch",
+    "DrkeyError",
+    "DrkeyProvider",
+    "epoch_at",
+]

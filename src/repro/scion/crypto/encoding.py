@@ -1,0 +1,19 @@
+"""Canonical byte encoding for signed control-plane objects.
+
+Signatures must be computed over a deterministic serialization. We use
+compact JSON with sorted keys; every signed object provides a plain-dict
+payload, and this module turns it into bytes. Ints, strings, floats, lists
+and dicts only — no custom types leak into signed payloads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """Serialize a payload deterministically for signing/verification."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")

@@ -1,0 +1,44 @@
+"""Symmetric keys for the data plane.
+
+Each AS holds a secret *forwarding key* from which hop-field MACs are
+computed. Border routers of the AS share it; nobody else ever sees it, which
+is what makes hop fields unforgeable by other ASes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """An opaque symmetric key."""
+
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.value) < 16:
+            raise ValueError("symmetric keys must be at least 128 bits")
+
+    def mac(self, data: bytes) -> bytes:
+        return hmac.new(self.value, data, hashlib.sha256).digest()
+
+    def derive(self, label: str) -> "SymmetricKey":
+        """Derive a sub-key bound to a label (e.g. 'hopfield', 'drkey')."""
+        return SymmetricKey(self.mac(b"derive:" + label.encode()))
+
+
+def derive_forwarding_key(master_secret: bytes, ia: str) -> SymmetricKey:
+    """Derive an AS's forwarding key from a deployment master secret.
+
+    Real deployments generate these independently per AS; deriving them from
+    a master secret keeps simulated networks reproducible while preserving
+    the property under test — that AS X cannot compute AS Y's MACs without
+    Y's key.
+    """
+    if len(master_secret) < 16:
+        raise ValueError("master secret must be at least 128 bits")
+    raw = hmac.new(master_secret, b"fwd-key:" + ia.encode(), hashlib.sha256).digest()
+    return SymmetricKey(raw)

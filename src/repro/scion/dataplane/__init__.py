@@ -1,0 +1,23 @@
+"""SCION data plane: border routers, underlay, dispatcher, delivery."""
+
+from repro.scion.dataplane.router import BorderRouter, RouterDecision, Verdict
+from repro.scion.dataplane.network import ScionDataplane, ProbeResult
+from repro.scion.dataplane.dispatcher import (
+    Dispatcher,
+    DispatcherlessStack,
+    EndHostDataPathModel,
+)
+from repro.scion.dataplane.underlay import IntraAsNetwork, IpSegment
+
+__all__ = [
+    "BorderRouter",
+    "RouterDecision",
+    "Verdict",
+    "ScionDataplane",
+    "ProbeResult",
+    "Dispatcher",
+    "DispatcherlessStack",
+    "EndHostDataPathModel",
+    "IntraAsNetwork",
+    "IpSegment",
+]

@@ -1,0 +1,270 @@
+"""End-to-end packet delivery across the simulated SCION topology.
+
+Two modes share the same router decision logic:
+
+* :meth:`ScionDataplane.probe` — a synchronous walk used by measurement
+  campaigns (millions of pings): verifies every hop MAC, checks link state,
+  and returns the round-trip time analytically.
+* :meth:`ScionDataplane.send` — event-driven delivery through the
+  discrete-event simulator, used by the packet-level experiments
+  (dispatcher bottleneck, Hercules transfers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.netsim.simulator import Simulator
+from repro.scion.addr import IA
+from repro.scion.crypto.keys import SymmetricKey
+from repro.scion.dataplane.router import BorderRouter, RouterDecision, Verdict
+from repro.scion.packet import ScionPacket
+from repro.scion.path import DataplanePath, HopRecord, oriented_interfaces
+from repro.scion.topology import GlobalTopology
+
+
+@dataclass(frozen=True)
+class PathAnalysis:
+    """Static analysis of one path: MAC validity, links, base RTT.
+
+    Measurement campaigns analyze each path once (MACs and link bindings
+    do not change between beaconing runs) and afterwards only re-check the
+    ``up`` flags of ``links`` — the same information a probe would yield,
+    at a fraction of the cost.
+    """
+
+    mac_valid: bool
+    links: tuple
+    rtt_s: float
+    failure: str = ""
+
+    def usable(self) -> bool:
+        return self.mac_valid and all(link.up for link in self.links)
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of walking one path."""
+
+    success: bool
+    rtt_s: float = 0.0
+    one_way_s: float = 0.0
+    failure: str = ""
+    failed_at: Optional[IA] = None
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+#: Per-router processing latency (MAC check + header rewrite), one direction.
+ROUTER_PROCESSING_S = 12e-6
+
+
+class ScionDataplane:
+    """Delivers SCION packets across a :class:`GlobalTopology`."""
+
+    def __init__(
+        self,
+        topology: GlobalTopology,
+        forwarding_keys: Dict[IA, SymmetricKey],
+        router_processing_s: float = ROUTER_PROCESSING_S,
+    ):
+        self.topology = topology
+        self.routers: Dict[IA, BorderRouter] = {
+            ia: BorderRouter(topo, forwarding_keys[ia])
+            for ia, topo in topology.ases.items()
+        }
+        self.router_processing_s = router_processing_s
+
+    # -- analytic walk -----------------------------------------------------------
+
+    def walk(self, path: DataplanePath, now: float) -> ProbeResult:
+        """Walk a path once (one way), verifying hops and link state."""
+        records = path.forwarding_plan()
+        if not records:
+            return ProbeResult(False, failure="empty-path")
+        delay = 0.0
+        arrival_ifid: Optional[int] = None
+        index = 0
+        while index < len(records):
+            record = records[index]
+            router = self.routers.get(record.hop.ia)
+            if router is None:
+                return ProbeResult(
+                    False, failure="unknown-as", failed_at=record.hop.ia
+                )
+            next_record = records[index + 1] if index + 1 < len(records) else None
+            decision = router.decide(record, next_record, arrival_ifid, now)
+            delay += self.router_processing_s
+            if decision.verdict is Verdict.DELIVER:
+                return ProbeResult(True, rtt_s=2 * delay, one_way_s=delay)
+            if decision.verdict is Verdict.CROSSOVER:
+                index += 1
+                arrival_ifid = None
+                continue
+            if decision.verdict is not Verdict.FORWARD:
+                return ProbeResult(
+                    False, failure=decision.verdict.value, failed_at=record.hop.ia
+                )
+            link = self.topology.link_between(record.hop.ia, decision.egress_ifid)
+            if link is None:
+                return ProbeResult(
+                    False, failure="no-link", failed_at=record.hop.ia
+                )
+            if not link.up:
+                return ProbeResult(
+                    False, failure="link-down", failed_at=record.hop.ia
+                )
+            iface = self.topology.get(record.hop.ia).interfaces[decision.egress_ifid]
+            if next_record is None or next_record.hop.ia != iface.remote_ia:
+                return ProbeResult(
+                    False, failure="path-link-mismatch", failed_at=record.hop.ia
+                )
+            delay += link.latency_s
+            arrival_ifid = iface.remote_ifid
+            index += 1
+        return ProbeResult(False, failure="fell-off-path")
+
+    def analyze(self, path: DataplanePath, now: float) -> PathAnalysis:
+        """One-time static analysis: verify MACs and collect the links.
+
+        Unlike :meth:`walk`, link up/down state is ignored here — callers
+        re-evaluate ``usable()`` as link state changes.
+        """
+        records = path.forwarding_plan()
+        if not records:
+            return PathAnalysis(False, (), 0.0, "empty-path")
+        links = []
+        delay = 0.0
+        arrival_ifid: Optional[int] = None
+        index = 0
+        while index < len(records):
+            record = records[index]
+            router = self.routers.get(record.hop.ia)
+            if router is None:
+                return PathAnalysis(False, (), 0.0, "unknown-as")
+            next_record = records[index + 1] if index + 1 < len(records) else None
+            decision = router.decide(record, next_record, arrival_ifid, now)
+            delay += self.router_processing_s
+            if decision.verdict is Verdict.DELIVER:
+                return PathAnalysis(True, tuple(links), 2 * delay)
+            if decision.verdict is Verdict.CROSSOVER:
+                index += 1
+                arrival_ifid = None
+                continue
+            if decision.verdict is not Verdict.FORWARD:
+                return PathAnalysis(False, (), 0.0, decision.verdict.value)
+            link = self.topology.link_between(record.hop.ia, decision.egress_ifid)
+            if link is None:
+                return PathAnalysis(False, (), 0.0, "no-link")
+            iface = self.topology.get(record.hop.ia).interfaces[decision.egress_ifid]
+            if next_record is None or next_record.hop.ia != iface.remote_ia:
+                return PathAnalysis(False, (), 0.0, "path-link-mismatch")
+            links.append(link)
+            delay += link.latency_s
+            arrival_ifid = iface.remote_ifid
+            index += 1
+        return PathAnalysis(False, (), 0.0, "fell-off-path")
+
+    def probe(self, path: DataplanePath, now: float) -> ProbeResult:
+        """Round-trip probe (SCMP echo semantics): forward walk doubled.
+
+        SCION replies reverse the same path, so a successful forward walk
+        implies a successful reverse walk under the same link state.
+        """
+        result = self.walk(path, now)
+        return result
+
+    def path_latency_s(self, path: DataplanePath) -> float:
+        """Static one-way latency estimate (links + processing), ignoring
+        link state and MACs — used for PathMeta latency estimates."""
+        total = 0.0
+        records = path.forwarding_plan()
+        for index, record in enumerate(records):
+            total += self.router_processing_s
+            if index + 1 >= len(records):
+                break
+            next_record = records[index + 1]
+            if next_record.hop.ia == record.hop.ia:
+                continue
+            _, egress = oriented_interfaces(record.hop, record.info)
+            if record.is_seg_last and next_record.is_seg_first:
+                # Peering boundary: egress interface of the peer hop.
+                pass
+            link = self.topology.link_between(record.hop.ia, egress)
+            if link is not None:
+                total += link.latency_s
+        return total
+
+    # -- event-driven delivery -----------------------------------------------------
+
+    def send(
+        self,
+        sim: Simulator,
+        packet: ScionPacket,
+        on_delivered: Callable[[ScionPacket], None],
+        on_dropped: Optional[Callable[[ScionPacket, str], None]] = None,
+    ) -> None:
+        """Deliver a packet hop by hop through the event simulator."""
+        self._hop(sim, packet, None, on_delivered, on_dropped)
+
+    def _hop(
+        self,
+        sim: Simulator,
+        packet: ScionPacket,
+        arrival_ifid: Optional[int],
+        on_delivered: Callable[[ScionPacket], None],
+        on_dropped: Optional[Callable[[ScionPacket, str], None]],
+    ) -> None:
+        records = packet.path.forwarding_plan()
+        if not (0 <= packet.curr_hop < len(records)):
+            self._drop(packet, "hop-pointer-out-of-range", on_dropped)
+            return
+        record = records[packet.curr_hop]
+        next_record = (
+            records[packet.curr_hop + 1]
+            if packet.curr_hop + 1 < len(records) else None
+        )
+        router = self.routers.get(record.hop.ia)
+        if router is None:
+            self._drop(packet, "unknown-as", on_dropped)
+            return
+        decision = router.decide(record, next_record, arrival_ifid, sim.now)
+        if decision.verdict is Verdict.DELIVER:
+            sim.schedule(self.router_processing_s, on_delivered, packet)
+            return
+        if decision.verdict is Verdict.CROSSOVER:
+            packet.advance()
+            sim.schedule(
+                self.router_processing_s,
+                self._hop, sim, packet, None, on_delivered, on_dropped,
+            )
+            return
+        if decision.verdict is not Verdict.FORWARD:
+            self._drop(packet, decision.verdict.value, on_dropped)
+            return
+        link = self.topology.link_between(record.hop.ia, decision.egress_ifid)
+        if link is None:
+            self._drop(packet, "no-link", on_dropped)
+            return
+        iface = self.topology.get(record.hop.ia).interfaces[decision.egress_ifid]
+        packet.advance()
+        link.transmit(
+            sim,
+            str(record.hop.ia),
+            packet.size_bytes(),
+            deliver=lambda: self._hop(
+                sim, packet, iface.remote_ifid, on_delivered, on_dropped
+            ),
+            drop=lambda reason: self._drop(packet, reason, on_dropped),
+        )
+
+    @staticmethod
+    def _drop(
+        packet: ScionPacket,
+        reason: str,
+        on_dropped: Optional[Callable[[ScionPacket, str], None]],
+    ) -> None:
+        if on_dropped is not None:
+            on_dropped(packet, reason)

@@ -1,0 +1,111 @@
+"""The SCION border router.
+
+Per Section 2 of the paper, a border router: discards the IP-UDP
+encapsulation, finds the current hop field, verifies its integrity with an
+efficient symmetric operation, moves the hop-field pointer, and forwards to
+the next border router or end host. This module implements exactly that
+decision logic; actual movement across links is done by
+:class:`repro.scion.dataplane.network.ScionDataplane`.
+
+Routers come in two interoperable flavors ("open-source" and "anapaya",
+Section 4.5) that share this wire behaviour; the flavor is carried for
+heterogeneity accounting only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.scion.addr import IA
+from repro.scion.crypto.keys import SymmetricKey
+from repro.scion.packet import ScionPacket
+from repro.scion.path import HopRecord, oriented_interfaces
+from repro.scion.scmp import ScmpMessage, interface_down
+from repro.scion.topology import AsTopology
+
+
+class Verdict(enum.Enum):
+    FORWARD = "forward"          # send out through `egress_ifid`
+    DELIVER = "deliver"          # destination AS reached; hand to end host
+    CROSSOVER = "crossover"      # segment switch inside this AS; process next hop
+    DROP_BAD_MAC = "drop-bad-mac"
+    DROP_EXPIRED = "drop-expired"
+    DROP_NO_INTERFACE = "drop-no-interface"
+    DROP_INTERFACE_DOWN = "drop-interface-down"
+    DROP_WRONG_INGRESS = "drop-wrong-ingress"
+
+
+@dataclass(frozen=True)
+class RouterDecision:
+    verdict: Verdict
+    egress_ifid: int = 0
+    scmp: Optional[ScmpMessage] = None
+
+
+class BorderRouter:
+    """Forwarding logic for one AS."""
+
+    def __init__(
+        self,
+        topology: AsTopology,
+        forwarding_key: SymmetricKey,
+        flavor: Optional[str] = None,
+    ):
+        self.topology = topology
+        self.ia: IA = topology.ia
+        self._key = forwarding_key
+        self.flavor = flavor or topology.flavor
+
+    def decide(
+        self,
+        record: HopRecord,
+        next_record: Optional[HopRecord],
+        arrival_ifid: Optional[int],
+        now: float,
+    ) -> RouterDecision:
+        """Process the packet's current hop at this router.
+
+        ``arrival_ifid`` is the interface the frame physically arrived on
+        (None when injected by a local end host). Ingress is checked
+        strictly mid-segment; at segment starts the hop field's construction
+        ingress legitimately differs from the arrival interface (shortcut
+        and crossover paths), so the check is relaxed there.
+        """
+        hop = record.hop
+        if hop.ia != self.ia:
+            raise ValueError(
+                f"router {self.ia} asked to process hop of {hop.ia}"
+            )
+        if hop.expiry < now:
+            return RouterDecision(Verdict.DROP_EXPIRED)
+        if not hop.verify(self._key, record.info.timestamp):
+            return RouterDecision(Verdict.DROP_BAD_MAC)
+        ingress, egress = oriented_interfaces(hop, record.info)
+        if (
+            arrival_ifid is not None
+            and not record.is_seg_first
+            and ingress != arrival_ifid
+        ):
+            return RouterDecision(Verdict.DROP_WRONG_INGRESS)
+
+        last_overall = next_record is None
+        if last_overall:
+            return RouterDecision(Verdict.DELIVER)
+        if record.is_seg_last and next_record.hop.ia == self.ia:
+            # Segment switch within this AS (core joint or shortcut):
+            # egress comes from the next hop field.
+            return RouterDecision(Verdict.CROSSOVER)
+        # Normal forwarding — including peering crossovers, where the last
+        # hop of a segment egresses over the peer link to a different AS.
+        if egress == 0:
+            # Terminal hop field but the path continues: malformed.
+            return RouterDecision(Verdict.DROP_NO_INTERFACE)
+        iface = self.topology.interfaces.get(egress)
+        if iface is None:
+            return RouterDecision(Verdict.DROP_NO_INTERFACE)
+        return RouterDecision(Verdict.FORWARD, egress_ifid=egress)
+
+    def interface_down_scmp(self, ifid: int) -> ScmpMessage:
+        return interface_down(str(self.ia), ifid)

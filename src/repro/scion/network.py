@@ -1,0 +1,347 @@
+"""ScionNetwork: a fully operational SCION network over a topology.
+
+This is the orchestration layer that turns a :class:`GlobalTopology` into a
+working network, performing what a real deployment does piece by piece:
+
+1. per ISD: generate root and CA keys, self-sign the root, issue the CA
+   certificate, assemble and self-sign the base TRC;
+2. per AS: generate a signing key pair, obtain an AS certificate from the
+   ISD's CA, derive the secret forwarding key, start a control service;
+3. run core and intra-ISD beaconing to a fixed point (with full signature
+   verification);
+4. register the resulting up/down/core segments with the path servers;
+5. stand up the data plane (border routers wired to the links).
+
+Afterwards, :meth:`paths` answers end-host path lookups (combining
+segments), and :meth:`active_paths` applies the paper's definition of an
+*active* path: known to the control plane AND usable on the data plane.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.scion.addr import IA
+from repro.scion.control.beaconing import BeaconingEngine
+from repro.scion.control.combinator import combine_paths
+from repro.scion.control.path_server import LocalPathServer, SegmentRegistry
+from repro.scion.control.segments import Beacon, BeaconError
+from repro.scion.control.service import ControlService, TrustStore
+from repro.scion.crypto.ca import CaService
+from repro.scion.crypto.cppki import (
+    Certificate,
+    CertType,
+    make_self_signed_root,
+)
+from repro.scion.crypto.keys import derive_forwarding_key
+from repro.scion.crypto.rsa import RsaKeyPair
+from repro.scion.crypto.trc import Trc
+from repro.scion.dataplane.network import ProbeResult, ScionDataplane
+from repro.scion.dataplane.router import BorderRouter
+from repro.scion.path import DataplanePath, PathMeta
+from repro.scion.topology import GlobalTopology, LinkType, TopologyError
+
+
+@dataclass
+class IsdTrust:
+    """Trust material of one ISD: root, CA, and base TRC."""
+
+    isd: int
+    root_key: RsaKeyPair
+    root_cert: Certificate
+    ca_key: RsaKeyPair
+    ca: CaService
+    trc: Trc
+
+
+class ScionNetwork:
+    """A running SCION network: control plane converged, data plane live."""
+
+    #: How long trust material lives in the simulation (10 years).
+    TRUST_LIFETIME_S = 10 * 365 * 24 * 3600.0
+
+    def __init__(
+        self,
+        topology: GlobalTopology,
+        seed: int = 0,
+        timestamp: int = 1_000_000,
+        k_propagate: int = 6,
+        k_register: int = 16,
+        verify_beacons: bool = True,
+        run_beaconing: bool = True,
+    ):
+        topology.validate()
+        self.topology = topology
+        self.seed = seed
+        self.timestamp = timestamp
+        self.k_register = k_register
+        master = hashlib.sha256(f"sciera-master-{seed}".encode()).digest()
+
+        # 1. Per-ISD trust material.
+        self.isd_trust: Dict[int, IsdTrust] = {}
+        for isd in topology.isds():
+            self.isd_trust[isd] = self._build_isd_trust(isd, timestamp)
+
+        # 2. Per-AS identities and services.
+        self.registry = SegmentRegistry()
+        self.services: Dict[IA, ControlService] = {}
+        for index, (ia, as_topo) in enumerate(sorted(topology.ases.items())):
+            signing_key = RsaKeyPair.generate(seed=self._key_seed("as", ia))
+            trust = self.isd_trust[ia.isd]
+            issued = trust.ca.issue_as_certificate(
+                str(ia), signing_key.public, now=timestamp,
+            )
+            service = ControlService(
+                topology=as_topo,
+                signing_key=signing_key,
+                forwarding_key=derive_forwarding_key(master, str(ia)),
+                certificate=issued,
+                path_server=LocalPathServer(ia, self.registry),
+            )
+            for trust_material in self.isd_trust.values():
+                service.trust_store.add_trc(trust_material.trc)
+            self.services[ia] = service
+
+        self.forwarding_keys = {
+            ia: service.forwarding_key for ia, service in self.services.items()
+        }
+        self.signing_keys = {
+            ia: service.signing_key for ia, service in self.services.items()
+        }
+
+        # 3-4. Beaconing and registration.
+        self.beaconing: Optional[BeaconingEngine] = None
+        if run_beaconing:
+            self.run_beaconing(
+                k_propagate=k_propagate, verify_beacons=verify_beacons
+            )
+
+        # 5. Data plane.
+        self.dataplane = ScionDataplane(topology, self.forwarding_keys)
+        self._path_cache: Dict[Tuple[IA, IA], List[PathMeta]] = {}
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _key_seed(self, label: str, ia: object) -> int:
+        raw = hashlib.sha256(f"{self.seed}:{label}:{ia}".encode()).digest()
+        return int.from_bytes(raw[:8], "big")
+
+    def _build_isd_trust(self, isd: int, now: float) -> IsdTrust:
+        root_key = RsaKeyPair.generate(seed=self._key_seed("root", isd))
+        ca_key = RsaKeyPair.generate(seed=self._key_seed("ca", isd))
+        not_after = now + self.TRUST_LIFETIME_S
+        root_cert = make_self_signed_root(
+            f"root-isd{isd}", root_key, now, not_after
+        )
+        ca_cert = Certificate(
+            subject=f"ca-isd{isd}",
+            cert_type=CertType.CA,
+            public_key=ca_key.public,
+            issuer=root_cert.subject,
+            not_before=now,
+            not_after=not_after,
+            serial=1,
+        ).signed_by(root_key)
+        ca = CaService(f"ca-isd{isd}", ca_key, ca_cert, root_cert)
+        core = [str(ia) for ia in self.topology.core_ases(isd)]
+        if not core:
+            # An ISD without local core ASes anchors trust in a designated
+            # authoritative AS (not the case in SCIERA, but kept valid).
+            core = [str(sorted(ia for ia in self.topology.ases if ia.isd == isd)[0])]
+        trc = Trc(
+            isd=isd,
+            serial=1,
+            base_serial=1,
+            not_before=now,
+            not_after=not_after,
+            core_ases=tuple(core),
+            authoritative_ases=tuple(core),
+            root_keys={f"root-isd{isd}": root_key.public},
+            voting_quorum=1,
+            description=f"base TRC for ISD {isd}",
+        ).with_votes({f"root-isd{isd}": root_key})
+        trc.verify_base()
+        return IsdTrust(isd, root_key, root_cert, ca_key, ca, trc)
+
+    # -- control plane -----------------------------------------------------------
+
+    def cert_chain(self, ia: IA) -> Tuple[Certificate, ...]:
+        return self.services[ia].certificate.chain()
+
+    def trc_for(self, isd: int) -> Trc:
+        return self.isd_trust[isd].trc
+
+    def run_beaconing(
+        self, k_propagate: int = 6, verify_beacons: bool = True
+    ) -> BeaconingEngine:
+        key_resolver = Beacon.make_validating_key_resolver(
+            self.cert_chain, self.trc_for, self.timestamp
+        )
+        engine = BeaconingEngine(
+            self.topology,
+            self.forwarding_keys,
+            self.signing_keys,
+            key_resolver,
+            timestamp=self.timestamp,
+            k_propagate=k_propagate,
+            verify_beacons=verify_beacons,
+        )
+        engine.run()
+        self.beaconing = engine
+        self._register_segments(engine)
+        return engine
+
+    def _register_segments(self, engine: BeaconingEngine) -> None:
+        for ia, topo in sorted(self.topology.ases.items()):
+            service = self.services[ia]
+            if topo.is_core:
+                for segment in engine.core_stores[ia].select_all(self.k_register):
+                    self.registry.register_core(segment)
+            else:
+                for segment in engine.down_stores[ia].select_all(self.k_register):
+                    service.path_server.register_up(segment)
+                    self.registry.register_down(segment)
+
+    # -- path lookup ---------------------------------------------------------------
+
+    def paths(
+        self,
+        src: IA,
+        dst: IA,
+        max_paths: Optional[int] = None,
+        refresh: bool = False,
+    ) -> List[PathMeta]:
+        """All control-plane paths from ``src`` to ``dst`` with metadata."""
+        key = (src, dst)
+        if not refresh and key in self._path_cache:
+            metas = self._path_cache[key]
+        else:
+            src_topo = self.topology.get(src)
+            dst_topo = self.topology.get(dst)
+            ups, cores, downs, _ = self.services[src].path_server.segments_for(dst)
+            raw = combine_paths(
+                src, dst,
+                up_segments=[] if src_topo.is_core else ups,
+                core_segments=cores,
+                down_segments=[] if dst_topo.is_core else downs,
+                src_is_core=src_topo.is_core,
+                dst_is_core=dst_topo.is_core,
+            )
+            metas = [self._meta(path) for path in raw]
+            self._path_cache[key] = metas
+        if max_paths is not None:
+            return metas[:max_paths]
+        return metas
+
+    def _meta(self, path: DataplanePath) -> PathMeta:
+        return PathMeta(
+            path=path,
+            latency_estimate_s=self.dataplane.path_latency_s(path),
+            carbon_gco2_per_gb=self._carbon_estimate(path),
+        )
+
+    def _carbon_estimate(self, path: DataplanePath) -> float:
+        """Toy per-path carbon metric: grows with distance (links crossed).
+
+        Exists so "green path" policies (Section 4.7) have a real signal.
+        """
+        raw = path.fingerprint()
+        jitter = int(raw[:4], 16) / 0xFFFF
+        return 10.0 * max(0, path.num_as_hops() - 1) + 5.0 * jitter
+
+    def active_paths(
+        self, src: IA, dst: IA, now: Optional[float] = None
+    ) -> List[PathMeta]:
+        """Paths known to the control plane AND usable on the data plane."""
+        t = self.timestamp if now is None else now
+        return [
+            meta for meta in self.paths(src, dst)
+            if self.dataplane.probe(meta.path, t).success
+        ]
+
+    def probe(self, meta: PathMeta, now: Optional[float] = None) -> ProbeResult:
+        t = self.timestamp if now is None else now
+        return self.dataplane.probe(meta.path, t)
+
+    # -- enrollment (the paper's "lean start and expand as you grow") -----------------
+
+    def enroll_as(
+        self,
+        ia: IA,
+        parent_links: List[Tuple[IA, float]],
+        name: str = "",
+        region: str = "",
+        flavor: str = "open-source",
+    ) -> "ControlService":
+        """Enroll a new leaf AS into the running network.
+
+        This is the operation SCIERA scaled (Sections 4.3/4.4): attach the
+        AS over Layer-2 links to its providers, issue its certificate
+        through the ISD CA, and re-converge the control plane so every
+        other participant can reach it. Returns the new control service.
+        """
+        if ia in self.topology.ases:
+            raise TopologyError(f"AS {ia} already enrolled")
+        if not parent_links:
+            raise TopologyError("a new AS needs at least one parent link")
+        if ia.isd not in self.isd_trust:
+            raise TopologyError(
+                f"no trust material for ISD {ia.isd}; new ISDs need a TRC"
+            )
+        as_topo = self.topology.add_as(
+            ia, is_core=False, name=name or str(ia), region=region,
+            flavor=flavor,
+        )
+        for parent, latency_s in parent_links:
+            self.topology.add_link(
+                ia, parent, LinkType.PARENT, latency_s,
+                link_name=f"enroll:{ia}--{parent}",
+            )
+        self.topology.validate()
+
+        master = hashlib.sha256(f"sciera-master-{self.seed}".encode()).digest()
+        signing_key = RsaKeyPair.generate(seed=self._key_seed("as", ia))
+        trust = self.isd_trust[ia.isd]
+        issued = trust.ca.issue_as_certificate(
+            str(ia), signing_key.public, now=self.timestamp,
+        )
+        service = ControlService(
+            topology=as_topo,
+            signing_key=signing_key,
+            forwarding_key=derive_forwarding_key(master, str(ia)),
+            certificate=issued,
+            path_server=LocalPathServer(ia, self.registry),
+        )
+        for trust_material in self.isd_trust.values():
+            service.trust_store.add_trc(trust_material.trc)
+        self.services[ia] = service
+        self.forwarding_keys[ia] = service.forwarding_key
+        self.signing_keys[ia] = service.signing_key
+        self.dataplane.routers[ia] = BorderRouter(
+            as_topo, service.forwarding_key
+        )
+
+        self._reset_control_plane()
+        self.run_beaconing()
+        return service
+
+    def _reset_control_plane(self) -> None:
+        """Drop registered segments and caches before re-beaconing."""
+        self.registry = SegmentRegistry()
+        self._path_cache.clear()
+        for service in self.services.values():
+            service.path_server = LocalPathServer(service.ia, self.registry)
+
+    # -- operational hooks -----------------------------------------------------------
+
+    def set_link_state(self, link_name: str, up: bool) -> None:
+        try:
+            self.topology.links[link_name].set_up(up)
+        except KeyError:
+            raise KeyError(f"unknown link {link_name!r}") from None
+
+    def all_as_pairs(self) -> List[Tuple[IA, IA]]:
+        ases = sorted(self.topology.ases)
+        return [(a, b) for a in ases for b in ases if a != b]

@@ -1,0 +1,239 @@
+"""Dataplane paths: info fields, hop fields, and end-to-end paths.
+
+A SCION packet carries its forwarding path in the header: up to three
+segments (up, core, down), each an info field plus a list of hop fields.
+Hop fields are created during beaconing in *construction direction* and
+carry a MAC keyed by the owning AS's forwarding key.
+
+Simulation simplification (documented in DESIGN.md): the chaining
+accumulator ``beta`` is stored explicitly in each hop field rather than
+being recovered by the router via the segID XOR trick; routers still
+recompute and verify the MAC with their own secret key, so hop fields
+remain unforgeable and unsplicable by anyone else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.scion.addr import IA
+from repro.scion.crypto.keys import SymmetricKey
+from repro.scion.crypto.mac import chain_beta, hop_mac, verify_hop_mac
+
+#: Default hop-field lifetime (SCION's coarse-grained 6h units; we use 24h).
+DEFAULT_HOP_EXPIRY_S = 24 * 3600
+
+
+class PathError(Exception):
+    """Raised for malformed or inconsistent paths."""
+
+
+@dataclass(frozen=True)
+class HopField:
+    """One AS's hop in a segment, in construction direction."""
+
+    ia: IA
+    cons_ingress: int     # interface the beacon entered on (0 at origin)
+    cons_egress: int      # interface the beacon left on (0 at the last AS)
+    expiry: int           # absolute expiry timestamp (coarse seconds)
+    beta: int             # chaining accumulator at this hop
+    mac: bytes
+
+    @classmethod
+    def create(
+        cls,
+        ia: IA,
+        key: SymmetricKey,
+        timestamp: int,
+        cons_ingress: int,
+        cons_egress: int,
+        beta: int,
+        expiry: Optional[int] = None,
+    ) -> "HopField":
+        exp = expiry if expiry is not None else timestamp + DEFAULT_HOP_EXPIRY_S
+        mac = hop_mac(key, timestamp, exp, cons_ingress, cons_egress, beta)
+        return cls(ia, cons_ingress, cons_egress, exp, beta, mac)
+
+    def verify(self, key: SymmetricKey, timestamp: int) -> bool:
+        return verify_hop_mac(
+            key, timestamp, self.expiry, self.cons_ingress, self.cons_egress,
+            self.beta, self.mac,
+        )
+
+    def next_beta(self) -> int:
+        return chain_beta(self.beta, self.mac)
+
+
+@dataclass(frozen=True)
+class InfoField:
+    """Per-segment metadata in the path header."""
+
+    timestamp: int       # segment creation time; MACs bind to it
+    seg_id: int          # initial beta of the segment
+    cons_dir: bool       # True if the packet travels in construction direction
+
+
+@dataclass(frozen=True)
+class PathSegmentHops:
+    """One segment of a dataplane path: info field + ordered hop fields.
+
+    Hop fields are stored in construction direction; ``cons_dir`` in the
+    info field says whether the packet traverses them in that order (down/
+    core segments) or reversed (up segments).
+    """
+
+    info: InfoField
+    hops: Tuple[HopField, ...]
+
+    def forwarding_hops(self) -> Tuple[HopField, ...]:
+        """Hops in the order the packet actually visits them."""
+        return self.hops if self.info.cons_dir else tuple(reversed(self.hops))
+
+
+@dataclass(frozen=True)
+class DataplanePath:
+    """A complete end-to-end path: 1-3 segments."""
+
+    segments: Tuple[PathSegmentHops, ...]
+
+    def __post_init__(self) -> None:
+        if not (1 <= len(self.segments) <= 3):
+            raise PathError(f"a path has 1..3 segments, got {len(self.segments)}")
+
+    def hops(self) -> List[Tuple[HopField, InfoField]]:
+        """All hops in forwarding order, paired with their info field."""
+        out: List[Tuple[HopField, InfoField]] = []
+        for seg in self.segments:
+            for hop in seg.forwarding_hops():
+                out.append((hop, seg.info))
+        return out
+
+    def as_sequence(self) -> List[IA]:
+        """The sequence of ASes visited, de-duplicating segment joints."""
+        seq: List[IA] = []
+        for hop, _ in self.hops():
+            if not seq or seq[-1] != hop.ia:
+                seq.append(hop.ia)
+        return seq
+
+    def forwarding_plan(self) -> List["HopRecord"]:
+        """All hops in forwarding order with segment-boundary annotations."""
+        out: List[HopRecord] = []
+        for seg_index, seg in enumerate(self.segments):
+            fwd = seg.forwarding_hops()
+            for pos, hop in enumerate(fwd):
+                out.append(
+                    HopRecord(
+                        hop=hop,
+                        info=seg.info,
+                        seg_index=seg_index,
+                        is_seg_first=(pos == 0),
+                        is_seg_last=(pos == len(fwd) - 1),
+                    )
+                )
+        return out
+
+    @property
+    def src_ia(self) -> IA:
+        return self.hops()[0][0].ia
+
+    @property
+    def dst_ia(self) -> IA:
+        return self.hops()[-1][0].ia
+
+    def interface_ids(self) -> List[str]:
+        """Globally unique interface ids traversed (paper, Section 5.4)."""
+        ids: List[str] = []
+        for hop, info in self.hops():
+            ingress, egress = oriented_interfaces(hop, info)
+            if ingress:
+                ids.append(f"{hop.ia}#{ingress}")
+            if egress:
+                ids.append(f"{hop.ia}#{egress}")
+        return ids
+
+    def fingerprint(self) -> str:
+        """Stable short identifier for this path (by interfaces traversed)."""
+        raw = "|".join(self.interface_ids()).encode()
+        return hashlib.sha256(raw).hexdigest()[:16]
+
+    def num_as_hops(self) -> int:
+        return len(self.as_sequence())
+
+    def min_expiry(self) -> int:
+        return min(hop.expiry for hop, _ in self.hops())
+
+
+@dataclass(frozen=True)
+class HopRecord:
+    """One hop in forwarding order, with its segment position."""
+
+    hop: HopField
+    info: InfoField
+    seg_index: int
+    is_seg_first: bool
+    is_seg_last: bool
+
+
+def oriented_interfaces(hop: HopField, info: InfoField) -> Tuple[int, int]:
+    """(actual ingress, actual egress) given the travel direction."""
+    if info.cons_dir:
+        return hop.cons_ingress, hop.cons_egress
+    return hop.cons_egress, hop.cons_ingress
+
+
+@dataclass(frozen=True)
+class PathMeta:
+    """What an application sees about one usable path (snet-style).
+
+    Carries the dataplane path plus metadata the end host uses for policy
+    decisions: AS sequence, interface ids, a static latency estimate, and
+    optional per-link attributes (carbon intensity for "green" routing,
+    Section 4.7 of the paper).
+    """
+
+    path: DataplanePath
+    latency_estimate_s: float
+    carbon_gco2_per_gb: float = 0.0
+    measured_rtt_s: Optional[float] = None
+
+    @property
+    def fingerprint(self) -> str:
+        return self.path.fingerprint()
+
+    @property
+    def interfaces(self) -> List[str]:
+        return self.path.interface_ids()
+
+    @property
+    def as_sequence(self) -> List[IA]:
+        return self.path.as_sequence()
+
+    def disjointness(self, other: "PathMeta") -> float:
+        """Fraction of distinct interfaces across the two paths.
+
+        The paper (Section 5.5): number of distinct interfaces divided by
+        the total number of interfaces of both paths. 1.0 = fully disjoint.
+        """
+        mine, theirs = self.interfaces, other.interfaces
+        total = len(mine) + len(theirs)
+        if total == 0:
+            return 1.0
+        shared = 0
+        other_counts: dict = {}
+        for ifid in theirs:
+            other_counts[ifid] = other_counts.get(ifid, 0) + 1
+        for ifid in mine:
+            if other_counts.get(ifid, 0) > 0:
+                other_counts[ifid] -= 1
+                shared += 2  # the interface appears in both paths
+        return (total - shared) / total
+
+    def shared_interfaces(self, others: Iterable["PathMeta"]) -> int:
+        """Number of my interface ids shared with any of ``others``."""
+        other_ids = set()
+        for other in others:
+            other_ids.update(other.interfaces)
+        return sum(1 for ifid in self.interfaces if ifid in other_ids)

@@ -1,0 +1,81 @@
+"""SCION Control Message Protocol (SCMP).
+
+SCMP is SCION's ICMP analogue. The multiping measurement campaign
+(Section 5.4 of the paper) sends SCMP echo requests over three SCION paths
+in parallel; routers emit SCMP errors (e.g. "external interface down") that
+end hosts use to switch paths quickly.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ScmpType(enum.Enum):
+    ECHO_REQUEST = 128
+    ECHO_REPLY = 129
+    DESTINATION_UNREACHABLE = 1
+    EXTERNAL_INTERFACE_DOWN = 5
+    INTERNAL_CONNECTIVITY_DOWN = 6
+
+
+_HEADER = struct.Struct("!BBHHQ")  # type, code, identifier, sequence, info
+
+
+@dataclass(frozen=True)
+class ScmpMessage:
+    """An SCMP message; ``info`` carries type-specific data.
+
+    For EXTERNAL_INTERFACE_DOWN, ``info`` is the failed interface id and
+    ``origin_ia`` identifies the AS that generated the error.
+    """
+
+    scmp_type: ScmpType
+    code: int = 0
+    identifier: int = 0
+    sequence: int = 0
+    info: int = 0
+    origin_ia: str = ""
+
+    def encode(self) -> bytes:
+        origin = self.origin_ia.encode()
+        return (
+            _HEADER.pack(
+                self.scmp_type.value, self.code, self.identifier,
+                self.sequence, self.info,
+            )
+            + struct.pack("!B", len(origin))
+            + origin
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ScmpMessage":
+        type_value, code, identifier, sequence, info = _HEADER.unpack_from(raw, 0)
+        offset = _HEADER.size
+        (origin_len,) = struct.unpack_from("!B", raw, offset)
+        offset += 1
+        origin = raw[offset:offset + origin_len].decode()
+        return cls(ScmpType(type_value), code, identifier, sequence, info, origin)
+
+
+def echo_request(identifier: int, sequence: int) -> ScmpMessage:
+    return ScmpMessage(ScmpType.ECHO_REQUEST, identifier=identifier, sequence=sequence)
+
+
+def echo_reply(request: ScmpMessage) -> ScmpMessage:
+    if request.scmp_type is not ScmpType.ECHO_REQUEST:
+        raise ValueError("echo_reply needs an echo request")
+    return ScmpMessage(
+        ScmpType.ECHO_REPLY,
+        identifier=request.identifier,
+        sequence=request.sequence,
+    )
+
+
+def interface_down(origin_ia: str, ifid: int) -> ScmpMessage:
+    return ScmpMessage(
+        ScmpType.EXTERNAL_INTERFACE_DOWN, info=ifid, origin_ia=origin_ia
+    )

@@ -1,0 +1,259 @@
+"""Tests for the core package: deployment, orchestrator, monitoring,
+survey, transit policy, ISD evolution."""
+
+import pytest
+
+from repro.core.deployment import (
+    DEPLOYMENT_TIMELINE,
+    DeploymentRecord,
+    EffortModel,
+    learning_curve,
+)
+from repro.core.isd_evolution import plan_regional_isds
+from repro.core.monitoring import ConnectivityMonitor
+from repro.core.orchestrator import Orchestrator, SetupStep
+from repro.core.policy import ScieraTransitPolicy
+from repro.core.survey import OPERATOR_SURVEY, SurveyAnalysis
+from repro.netsim.simulator import Simulator
+from repro.scion.addr import IA
+from repro.sciera.build import build_sciera
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_sciera(seed=31)
+
+
+class TestDeploymentEffort:
+    def test_timeline_ordered_fields(self):
+        for record in DEPLOYMENT_TIMELINE:
+            assert record.observed_effort > 0
+            assert record.vlan_parties >= 1
+            assert record.deployment_kind in ("core", "nren", "institution")
+
+    def test_learning_curve_negative_correlation(self):
+        curve = learning_curve()
+        assert curve["time_effort_correlation"] < -0.3
+        assert curve["second_half_mean_effort"] < curve["first_half_mean_effort"]
+
+    def test_model_predicts_observed_effort(self):
+        assert EffortModel().correlation_with_observed() > 0.7
+
+    def test_first_deployment_of_kind_costs_more(self):
+        model = EffortModel()
+        record = DEPLOYMENT_TIMELINE[0]
+        assert model.predict(record, prior_same_kind=0) > model.predict(
+            record, prior_same_kind=5
+        )
+
+    def test_reused_circuits_cheaper(self):
+        model = EffortModel()
+        base = dict(ia="x", name="x", month="2024-01", observed_effort=1.0,
+                    new_hardware=False, vlan_parties=3,
+                    deployment_kind="institution")
+        fresh = DeploymentRecord(reused_circuits=False, **base)
+        reused = DeploymentRecord(reused_circuits=True, **base)
+        assert model.predict(reused, 0) < model.predict(fresh, 0)
+
+    def test_invalid_experience_factor(self):
+        with pytest.raises(ValueError):
+            EffortModel(experience_factor=0.0)
+
+
+class TestOrchestrator:
+    def test_orchestrated_setup_hours_not_days(self, world):
+        orchestrator = Orchestrator(world.network, IA.parse("71-2:0:42"))
+        plan = orchestrator.plan_setup(orchestrated=True)
+        manual = orchestrator.plan_setup(orchestrated=False)
+        assert plan.total_hours < 8          # "a few hours"
+        assert manual.total_days > 2         # "from days"
+        assert len(plan.steps) == len(SetupStep)
+
+    def test_certificates_never_expire_under_auto_renewal(self, world):
+        orchestrator = Orchestrator(world.network, IA.parse("71-2:0:49"))
+        sim = Simulator(start_time=world.network.timestamp)
+        orchestrator.start_auto_renewal(sim)
+        horizon = sim.now + 30 * 24 * 3600.0
+        step = 6 * 3600.0
+        t = sim.now
+        while t < horizon:
+            t += step
+            sim.run(until=t)
+            assert orchestrator.certificate_healthy(t), f"expired at {t}"
+        orchestrator.stop_auto_renewal()
+        # 3-day certs renewed at 2/3 lifetime => ~15 renewals in 30 days.
+        assert orchestrator.renewals_performed >= 10
+        assert orchestrator.recent_logs(level="info")
+
+    def test_status_dashboard_reflects_link_state(self, world):
+        orchestrator = Orchestrator(world.network, IA.parse("71-2:0:5c"))
+        now = world.network.timestamp
+        assert orchestrator.unhealthy(now) == []
+        world.network.set_link_state("ufms-rnp-1", False)
+        try:
+            unhealthy = orchestrator.unhealthy(now)
+            assert any("ufms-rnp-1" in s.name for s in unhealthy)
+        finally:
+            world.network.set_link_state("ufms-rnp-1", True)
+
+
+class TestMonitoring:
+    def test_alert_on_connectivity_loss_and_restore(self, world):
+        network = world.network
+        monitor = ConnectivityMonitor(
+            network,
+            vantage=IA.parse("71-20965"),
+            targets=[IA.parse("71-2:0:5c")],
+            probe_interval_s=60.0,
+        )
+        sim = Simulator()
+        monitor.start(sim)
+        sim.run(until=120.0)
+        assert monitor.alerts == []
+        # Sever UFMS entirely.
+        network.set_link_state("ufms-rnp-1", False)
+        network.set_link_state("ufms-rnp-2", False)
+        sim.run(until=300.0)
+        kinds = [a.kind for a in monitor.alerts]
+        assert kinds == ["connectivity-lost"]
+        assert monitor.currently_down == ["71-2:0:5c"]
+        assert monitor.alerts[0].email_to.startswith("noc@")
+        network.set_link_state("ufms-rnp-1", True)
+        network.set_link_state("ufms-rnp-2", True)
+        sim.run(until=500.0)
+        assert [a.kind for a in monitor.alerts] == [
+            "connectivity-lost", "connectivity-restored",
+        ]
+
+    def test_no_duplicate_alerts(self, world):
+        network = world.network
+        monitor = ConnectivityMonitor(
+            network, vantage=IA.parse("71-20965"),
+            targets=[IA.parse("71-37288")], probe_interval_s=30.0,
+        )
+        sim = Simulator()
+        monitor.start(sim)
+        network.set_link_state("wacren-geant-1", False)
+        network.set_link_state("wacren-geant-2", False)
+        sim.run(until=600.0)
+        network.set_link_state("wacren-geant-1", True)
+        network.set_link_state("wacren-geant-2", True)
+        assert len([a for a in monitor.alerts if a.kind == "connectivity-lost"]) == 1
+
+    def test_invalid_interval(self, world):
+        with pytest.raises(ValueError):
+            ConnectivityMonitor(world.network, IA.parse("71-20965"), [],
+                                probe_interval_s=0)
+
+
+class TestSurvey:
+    def test_eight_respondents(self):
+        assert len(OPERATOR_SURVEY) == 8
+
+    def test_every_paper_percentage_exact(self):
+        headline = SurveyAnalysis().headline()
+        expected = {
+            "over_decade_experience": 50.0,
+            "setup_within_one_month": 37.5,
+            "setup_up_to_six_months": 50.0,
+            "deployed_without_vendor_support": 62.5,
+            "hardware_below_20k": 75.0,
+            "no_license_cost": 62.5,
+            "no_extra_hiring": 75.0,
+            "opex_comparable_or_lower": 75.0,
+            "workload_below_10pct": 87.5,
+            "vendor_contacts_below_3": 62.5,
+        }
+        assert headline == expected
+
+    def test_cost_driver_shares(self):
+        drivers = SurveyAnalysis().cost_driver_shares()
+        assert drivers["hardware-maintenance"] == 62.5
+        assert drivers["staff-workload"] == 50.0
+        assert drivers["monitoring-troubleshooting"] == 25.0
+        assert drivers["power"] == 12.5
+
+    def test_role_split_half_half(self):
+        assert SurveyAnalysis().role_split() == {
+            "engineer": 50.0, "researcher": 50.0,
+        }
+
+    def test_personnel_cost(self):
+        assert SurveyAnalysis().typical_personnel_cost_usd() == 20_000
+
+    def test_empty_survey_rejected(self):
+        with pytest.raises(ValueError):
+            SurveyAnalysis([])
+
+
+class TestTransitPolicy:
+    def test_commercial_endpoint_allowed(self, world):
+        policy = ScieraTransitPolicy()
+        paths = world.network.paths(IA.parse("71-2:0:42"), IA.parse("64-2:0:9"))
+        permitted = policy.order(paths)
+        # Terminating in the commercial ISD is fine.
+        assert permitted
+
+    def test_commercial_transit_rejected(self):
+        """Commercial -> SCIERA -> commercial is the forbidden pattern."""
+        policy = ScieraTransitPolicy()
+        sequence = [
+            IA.parse("64-559"), IA.parse("71-1"), IA.parse("71-2"),
+            IA.parse("64-100"),
+        ]
+        decision = policy.evaluate(sequence)
+        assert not decision.permitted
+        assert "transit" in decision.reason
+
+    def test_explicit_commercial_as(self):
+        policy = ScieraTransitPolicy(
+            commercial_ases=[IA.parse("71-999"), IA.parse("71-888")],
+            commercial_isds=[],
+        )
+        bad = [IA.parse("71-999"), IA.parse("71-1"), IA.parse("71-888")]
+        good = [IA.parse("71-999"), IA.parse("71-888"), IA.parse("71-1")]
+        assert not policy.evaluate(bad).permitted
+        assert policy.evaluate(good).permitted
+
+    def test_audit_covers_all_paths(self, world):
+        policy = ScieraTransitPolicy()
+        paths = world.network.paths(IA.parse("71-225"), IA.parse("71-2:0:5c"))
+        audit = policy.audit(paths)
+        assert len(audit) == len(paths)
+
+    def test_no_sciera_path_transits_commercial_isd(self, world):
+        """Structural check: ISD 64 hangs off the edge, so no ISD-71 pair
+        can route through it — the deployment enforces the paper's policy
+        by construction."""
+        policy = ScieraTransitPolicy()
+        net = world.network
+        for src, dst in [("71-225", "71-2:0:5c"), ("71-2:0:3b", "71-20965")]:
+            for meta in net.paths(IA.parse(src), IA.parse(dst)):
+                assert policy.evaluate(meta.as_sequence).permitted
+
+
+class TestIsdEvolution:
+    def test_regional_split_covers_members(self, world):
+        plan = plan_regional_isds(world.network.topology)
+        all_members = [m for isd in plan.regional_isds for m in isd.members]
+        isd71 = [str(ia) for ia in world.network.topology.ases if ia.isd == 71]
+        assert sorted(all_members) == sorted(isd71)
+
+    def test_every_regional_isd_has_a_core(self, world):
+        plan = plan_regional_isds(world.network.topology)
+        for isd in plan.regional_isds:
+            assert isd.core_ases
+            for core in isd.core_ases:
+                assert core in isd.members
+
+    def test_fault_isolation_improves(self, world):
+        plan = plan_regional_isds(world.network.topology)
+        assert plan.fault_isolation_before == pytest.approx(0.0)
+        assert plan.fault_isolation_after > 0.4
+        assert plan.isolation_gain > 0.4
+
+    def test_migration_steps_ordered(self, world):
+        plan = plan_regional_isds(world.network.topology)
+        orders = [s.order for s in plan.migration_steps]
+        assert orders == sorted(orders)
+        assert any("base TRC" in s.description for s in plan.migration_steps)

@@ -1,0 +1,106 @@
+"""Tests for deployment models (Appendix B) and the ecosystem (Appendix D)."""
+
+import pytest
+
+from repro.core.deployment_models import (
+    DeploymentModel,
+    MODEL_PROFILES,
+    OperatorConstraints,
+    classify_topology,
+    multi_as_operator_groups,
+    recommend_model,
+)
+from repro.core.ecosystem import (
+    SCION_IXPS,
+    SCION_NSPS,
+    ecosystem_snapshot,
+    nsp_growth_by_year,
+)
+from repro.sciera.topology_data import build_sciera_topology
+
+
+class TestDeploymentModels:
+    def test_three_models_profiled(self):
+        assert set(MODEL_PROFILES) == set(DeploymentModel)
+
+    def test_edge_model_minimal_requirements(self):
+        edge = MODEL_PROFILES[DeploymentModel.EDGE]
+        assert not edge.runs_own_control_service
+        assert not edge.independent_routing_policy
+        assert edge.requires_scion_expertise == "minimal"
+        assert edge.recommended_min_links == 1
+
+    def test_recommendation_no_expertise_gets_edge(self):
+        constraints = OperatorConstraints(
+            staff_scion_expertise="none", wants_own_routing_policy=True,
+            multiple_pops=True, budget_usd=100_000,
+        )
+        assert recommend_model(constraints).model is DeploymentModel.EDGE
+
+    def test_recommendation_small_budget_gets_edge(self):
+        constraints = OperatorConstraints(
+            staff_scion_expertise="expert", wants_own_routing_policy=True,
+            multiple_pops=False, budget_usd=3_000,
+        )
+        assert recommend_model(constraints).model is DeploymentModel.EDGE
+
+    def test_recommendation_expert_multi_pop_gets_multi_as(self):
+        constraints = OperatorConstraints(
+            staff_scion_expertise="expert", wants_own_routing_policy=True,
+            multiple_pops=True, budget_usd=50_000,
+        )
+        assert recommend_model(constraints).model is DeploymentModel.MULTI_AS
+
+    def test_recommendation_default_internet_as(self):
+        constraints = OperatorConstraints(
+            staff_scion_expertise="some", wants_own_routing_policy=True,
+            multiple_pops=False, budget_usd=20_000,
+        )
+        assert recommend_model(constraints).model is DeploymentModel.INTERNET_AS
+
+    def test_classification_covers_all_participants(self):
+        topology = build_sciera_topology()
+        classification = classify_topology(topology)
+        assert len(classification) == len(topology.ases)
+
+    def test_kreonet_is_multi_as(self):
+        classification = classify_topology(build_sciera_topology())
+        for pop in ("71-2:0:3b", "71-2:0:3c", "71-2:0:3d",
+                    "71-2:0:3e", "71-2:0:3f", "71-2:0:40"):
+            assert classification[pop] is DeploymentModel.MULTI_AS
+        groups = multi_as_operator_groups(classification)
+        assert len(groups) == 1
+        assert len(groups[0]) == 6
+
+    def test_single_homed_leaves_are_edge_shaped(self):
+        classification = classify_topology(build_sciera_topology())
+        # SIDN Labs has exactly one parent link.
+        assert classification["71-1140"] is DeploymentModel.EDGE
+        # UVa is dual-homed: Internet AS model.
+        assert classification["71-225"] is DeploymentModel.INTERNET_AS
+
+
+class TestEcosystem:
+    def test_over_20_nsps(self):
+        assert len(SCION_NSPS) > 20
+
+    def test_snapshot_matches_paper_quotes(self):
+        snapshot = ecosystem_snapshot()
+        assert snapshot.nsp_count > 20
+        assert snapshot.ixp_count == len(SCION_IXPS) == 4
+        assert snapshot.datacenter_count == 450
+        assert snapshot.cloud_marketplaces == 3
+        assert snapshot.registered_ases >= 200
+
+    def test_growth_is_monotonic_from_2017(self):
+        growth = nsp_growth_by_year()
+        years = sorted(growth)
+        assert years[0] == 2017
+        assert growth[years[0]] == 1  # Anapaya started it
+        values = [growth[y] for y in years]
+        assert values == sorted(values)
+        assert values[-1] == len(SCION_NSPS)
+
+    def test_nsp_names_unique(self):
+        names = [nsp.name for nsp in SCION_NSPS]
+        assert len(names) == len(set(names))

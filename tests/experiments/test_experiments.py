@@ -1,0 +1,136 @@
+"""End-to-end tests of the experiment suite: every figure/table runs and
+reproduces the paper's qualitative shape."""
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_caches():
+    """Build the world and the fast campaign once for the whole module."""
+    from repro.experiments.common import get_campaign, get_world
+
+    get_world()
+    get_campaign(fast=True)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "fig3", "fig4", "sec52", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig10c", "sec56",
+            "dispatcher",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+    def test_each_experiment_runs_and_reports(self, exp_id):
+        result = run_experiment(exp_id, fast=True)
+        assert isinstance(result, ExperimentResult)
+        assert result.exp_id == exp_id
+        assert result.comparisons
+        report = result.report()
+        assert exp_id in report
+        assert "paper:" in report
+
+
+def _measured(result: ExperimentResult, metric: str) -> str:
+    for comparison in result.comparisons:
+        if comparison.metric == metric:
+            return comparison.measured
+    raise AssertionError(f"metric {metric!r} missing from {result.exp_id}")
+
+
+class TestHeadlineShapes:
+    def test_fig4_bootstrap_under_150ms(self):
+        result = run_experiment("fig4")
+        measured = _measured(result, "total median")
+        worst = float(measured.split()[-2])
+        assert worst < 150.0
+
+    def test_fig5_scion_wins_median_and_tail(self):
+        from repro.experiments.common import get_campaign
+        from repro.sciera.analysis import fig5_latency_cdf
+
+        stats = fig5_latency_cdf(get_campaign(fast=True))
+        assert stats.median_reduction_pct > 2.0    # paper: 6.9%
+        assert stats.p90_reduction_pct > 10.0      # paper: 23.7%
+
+    def test_fig6_ratio_distribution(self):
+        from repro.experiments.common import get_campaign
+        from repro.sciera.analysis import fig6_ratio_cdf
+
+        stats = fig6_ratio_cdf(get_campaign(fast=True))
+        assert 0.25 < stats.frac_below_1 < 0.60    # paper: ~38%
+        assert stats.frac_below_1_25 > 0.70        # paper: ~80%
+        assert stats.outlier_pairs                 # ring/BRIDGES outliers
+
+    def test_fig8_path_count_extremes(self):
+        from repro.experiments.common import get_campaign
+        from repro.sciera.analysis import fig8_max_active_paths
+        from repro.sciera.topology_data import FIG8_ASES
+
+        matrix = fig8_max_active_paths(get_campaign(fast=True), FIG8_ASES)
+        values = matrix.values()
+        assert min(values) >= 2                    # paper: at least 2
+        assert max(values) > 100                   # paper: 113
+
+    def test_fig9_cable_cut_signature(self):
+        from repro.experiments.common import get_campaign
+        from repro.sciera.analysis import fig9_median_deviation
+        from repro.sciera.topology_data import FIG8_ASES
+
+        matrix = fig9_median_deviation(get_campaign(fast=True), FIG8_ASES)
+        dj_sg = matrix.matrix[("71-2:0:3b", "71-2:0:3d")]
+        assert dj_sg >= 10                         # paper: 16
+        zeros = sum(1 for v in matrix.values() if v == 0)
+        assert zeros >= len(matrix.values()) * 0.3  # most pairs undisturbed
+
+    def test_fig10c_multipath_vs_singlepath(self):
+        result = run_experiment("fig10c")
+        multi = float(_measured(result, "multipath @ 20% links removed").rstrip("%"))
+        single = float(_measured(result, "single path @ 20% links removed").rstrip("%"))
+        assert multi > single + 10
+        assert _measured(result, "multipath advantage") == "holds"
+
+    def test_sec52_small_diffs(self):
+        result = run_experiment("sec52")
+        bat = _measured(result, "bat (cURL-like web client)")
+        assert int(bat.split()[0]) < 20            # paper: < 20 LoC
+
+    def test_dispatcher_ablation_ordering(self):
+        result = run_experiment("dispatcher")
+        assert "end-host limited: True" in _measured(result, "dispatcher wall")
+
+    def test_table2_matches_exactly(self):
+        result = run_experiment("table2")
+        assert _measured(result, "cell-exact match") == "all match"
+
+    def test_sec56_exact(self):
+        result = run_experiment("sec56")
+        for comparison in result.comparisons[:10]:
+            assert comparison.paper == comparison.measured
+
+
+class TestRunnerCli:
+    def test_single_experiment(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SCIERA PoPs" in out
+
+    def test_unknown_id_errors(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["figZZ"])

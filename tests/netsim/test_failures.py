@@ -1,0 +1,91 @@
+"""Tests for failure and maintenance schedules."""
+
+import pytest
+
+from repro.netsim.failures import FailureSchedule, LinkEvent, MaintenanceWindow
+from repro.netsim.link import Link
+from repro.netsim.simulator import Simulator
+
+
+def make_links():
+    return {
+        "alpha": Link("alpha", "A", "B", 0.01),
+        "beta": Link("beta", "B", "C", 0.01),
+    }
+
+
+def test_maintenance_window_takes_link_down_and_restores():
+    sim = Simulator()
+    links = make_links()
+    schedule = FailureSchedule()
+    schedule.add_maintenance(MaintenanceWindow("alpha", 10.0, 20.0))
+    schedule.install(sim, links)
+
+    sim.run(until=5.0)
+    assert links["alpha"].up
+    sim.run(until=15.0)
+    assert not links["alpha"].up
+    sim.run(until=25.0)
+    assert links["alpha"].up
+
+
+def test_cable_cut_without_repair_is_permanent():
+    sim = Simulator()
+    links = make_links()
+    schedule = FailureSchedule()
+    schedule.add_cable_cut("beta", 5.0)
+    schedule.install(sim, links)
+    sim.run_until_idle()
+    assert not links["beta"].up
+
+
+def test_cable_cut_with_repair():
+    sim = Simulator()
+    links = make_links()
+    schedule = FailureSchedule()
+    schedule.add_cable_cut("beta", 5.0, repair_s=50.0)
+    schedule.install(sim, links)
+    sim.run(until=10.0)
+    assert not links["beta"].up
+    sim.run(until=60.0)
+    assert links["beta"].up
+
+
+def test_unknown_link_rejected_at_install():
+    sim = Simulator()
+    schedule = FailureSchedule()
+    schedule.add_event(LinkEvent(1.0, "ghost", up=False))
+    with pytest.raises(KeyError, match="ghost"):
+        schedule.install(sim, make_links())
+
+
+def test_invalid_windows_rejected():
+    with pytest.raises(ValueError):
+        MaintenanceWindow("alpha", 10.0, 10.0).events()
+    schedule = FailureSchedule()
+    with pytest.raises(ValueError):
+        schedule.add_cable_cut("alpha", 10.0, repair_s=5.0)
+
+
+def test_observers_notified_in_time_order():
+    sim = Simulator()
+    links = make_links()
+    schedule = FailureSchedule()
+    schedule.add_maintenance(MaintenanceWindow("alpha", 10.0, 20.0))
+    schedule.add_cable_cut("beta", 15.0)
+    seen = []
+    schedule.subscribe(lambda e: seen.append((e.time_s, e.link_name, e.up)))
+    schedule.install(sim, links)
+    sim.run_until_idle()
+    assert seen == [
+        (10.0, "alpha", False),
+        (15.0, "beta", False),
+        (20.0, "alpha", True),
+    ]
+
+
+def test_events_property_sorted():
+    schedule = FailureSchedule()
+    schedule.add_event(LinkEvent(20.0, "alpha", up=True))
+    schedule.add_event(LinkEvent(10.0, "alpha", up=False))
+    assert [e.time_s for e in schedule.events] == [10.0, 20.0]

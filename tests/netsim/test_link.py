@@ -1,0 +1,117 @@
+"""Tests for the point-to-point link model."""
+
+import pytest
+
+from repro.netsim.link import Link
+from repro.netsim.simulator import Simulator
+
+
+def make_link(**kwargs):
+    defaults = dict(name="l", a="A", b="B", latency_s=0.010)
+    defaults.update(kwargs)
+    return Link(**defaults)
+
+
+def test_transmit_delivers_after_latency():
+    sim = Simulator()
+    link = make_link()
+    delivered = []
+    link.transmit(sim, "A", 100, deliver=lambda: delivered.append(sim.now))
+    sim.run_until_idle()
+    assert delivered == [pytest.approx(0.010)]
+
+
+def test_serialization_delay_with_bandwidth():
+    sim = Simulator()
+    link = make_link(bandwidth_bps=8_000)  # 1000 bytes/s
+    delivered = []
+    link.transmit(sim, "A", 500, deliver=lambda: delivered.append(sim.now))
+    sim.run_until_idle()
+    # 500 bytes at 1000 B/s = 0.5 s serialization + 10 ms propagation.
+    assert delivered == [pytest.approx(0.510)]
+
+
+def test_frames_queue_behind_transmitter():
+    sim = Simulator()
+    link = make_link(bandwidth_bps=8_000)
+    times = []
+    for _ in range(3):
+        link.transmit(sim, "A", 500, deliver=lambda: times.append(sim.now))
+    sim.run_until_idle()
+    assert times == [pytest.approx(0.51), pytest.approx(1.01), pytest.approx(1.51)]
+
+
+def test_directions_have_independent_capacity():
+    sim = Simulator()
+    link = make_link(bandwidth_bps=8_000)
+    times = {}
+    link.transmit(sim, "A", 500, deliver=lambda: times.setdefault("ab", sim.now))
+    link.transmit(sim, "B", 500, deliver=lambda: times.setdefault("ba", sim.now))
+    sim.run_until_idle()
+    assert times["ab"] == pytest.approx(0.51)
+    assert times["ba"] == pytest.approx(0.51)
+
+
+def test_down_link_drops():
+    sim = Simulator()
+    link = make_link()
+    link.set_up(False)
+    drops = []
+    link.transmit(sim, "A", 10, deliver=lambda: pytest.fail("delivered"),
+                  drop=drops.append)
+    sim.run_until_idle()
+    assert drops == ["link-down"]
+    assert link.stats.frames_dropped_down == 1
+
+
+def test_frame_in_flight_lost_when_link_goes_down():
+    sim = Simulator()
+    link = make_link(latency_s=1.0)
+    drops = []
+    link.transmit(sim, "A", 10, deliver=lambda: pytest.fail("delivered"),
+                  drop=drops.append)
+    sim.schedule(0.5, link.set_up, False)
+    sim.run_until_idle()
+    assert drops == ["link-down"]
+
+
+def test_lossy_link_drops_deterministically_with_seed():
+    import random
+
+    sim = Simulator()
+    link = make_link(loss=0.5, rng=random.Random(42))
+    outcomes = []
+    for _ in range(50):
+        link.transmit(sim, "A", 10, deliver=lambda: outcomes.append("ok"),
+                      drop=lambda r: outcomes.append(r))
+    sim.run_until_idle()
+    assert outcomes.count("loss") == link.stats.frames_dropped_loss
+    assert 0 < outcomes.count("loss") < 50
+
+
+def test_other_endpoint():
+    link = make_link()
+    assert link.other("A") == "B"
+    assert link.other("B") == "A"
+    with pytest.raises(ValueError):
+        link.other("C")
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        make_link(latency_s=-1)
+    with pytest.raises(ValueError):
+        make_link(loss=1.0)
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        make_link().transmit(sim, "X", 1, deliver=lambda: None)
+
+
+def test_stats_accumulate():
+    sim = Simulator()
+    link = make_link()
+    for _ in range(3):
+        link.transmit(sim, "A", 100, deliver=lambda: None)
+    sim.run_until_idle()
+    assert link.stats.frames_sent == 3
+    assert link.stats.bytes_sent == 300

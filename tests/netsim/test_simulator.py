@@ -1,0 +1,111 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.netsim.simulator import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "late")
+    sim.schedule(1.0, order.append, "early")
+    sim.schedule(1.5, order.append, "middle")
+    sim.run_until_idle()
+    assert order == ["early", "middle", "late"]
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_ties_break_by_scheduling_order():
+    sim = Simulator()
+    order = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, order.append, label)
+    sim.run_until_idle()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, fired.append, "x")
+    timer.cancel()
+    sim.run_until_idle()
+    assert fired == []
+    assert timer.cancelled
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+
+
+def test_run_until_leaves_future_events_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.pending_events == 1
+    sim.run_until_idle()
+    assert fired == ["a", "b"]
+
+
+def test_nested_scheduling_from_handler():
+    sim = Simulator()
+    seen = []
+
+    def handler(depth):
+        seen.append((sim.now, depth))
+        if depth < 3:
+            sim.schedule(1.0, handler, depth + 1)
+
+    sim.schedule(0.0, handler, 0)
+    sim.run_until_idle()
+    assert [d for _, d in seen] == [0, 1, 2, 3]
+    assert seen[-1][0] == pytest.approx(3.0)
+
+
+def test_spawn_generator_process():
+    sim = Simulator()
+    log = []
+
+    def process():
+        log.append(("start", sim.now))
+        yield 2.0
+        log.append(("mid", sim.now))
+        yield 3.0
+        log.append(("end", sim.now))
+
+    sim.spawn(process())
+    sim.run_until_idle()
+    assert log == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+
+def test_spawn_negative_delay_raises():
+    sim = Simulator()
+
+    def bad():
+        yield -1.0
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run_until_idle()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    assert sim.events_processed == 5

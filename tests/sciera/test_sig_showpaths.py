@@ -1,0 +1,161 @@
+"""Tests for the SCION-IP Gateway and the showpaths tool."""
+
+import pytest
+
+from repro.scion.addr import IA
+from repro.sciera.build import build_sciera
+from repro.sciera.showpaths import format_report, showpaths
+from repro.sciera.sig import (
+    LegacyIpPacket,
+    ScionIpGateway,
+    SigError,
+    SigFabric,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_sciera(seed=41)
+
+
+@pytest.fixture()
+def fabric(world):
+    fabric = SigFabric()
+    eth = ScionIpGateway(
+        world.network, IA.parse("64-2:0:9"),
+        prefixes=["192.168.10.0/24"], name="sig-eth",
+    )
+    ufms = ScionIpGateway(
+        world.network, IA.parse("71-2:0:5c"),
+        prefixes=["192.168.20.0/24"], name="sig-ufms",
+    )
+    fabric.attach(eth)
+    fabric.attach(ufms)
+    return fabric, eth, ufms
+
+
+class TestSig:
+    def test_transparent_ip_to_ip_delivery(self, fabric):
+        _, eth, ufms = fabric
+        packet = LegacyIpPacket("192.168.10.5", "192.168.20.7", b"legacy data")
+        delivery = eth.forward(packet)
+        assert delivery.success
+        assert delivery.egress_sig == "sig-ufms"
+        assert delivery.via is not None
+        assert delivery.latency_s > 0.05  # intercontinental
+        assert eth.stats.encapsulated == 1
+        assert ufms.stats.decapsulated == 1
+
+    def test_local_prefix_stays_local(self, fabric):
+        _, eth, _ = fabric
+        delivery = eth.forward(
+            LegacyIpPacket("192.168.10.5", "192.168.10.9", b"x")
+        )
+        assert delivery.success
+        assert delivery.via is None
+        assert eth.stats.encapsulated == 0
+
+    def test_unannounced_destination_dropped(self, fabric):
+        _, eth, _ = fabric
+        delivery = eth.forward(LegacyIpPacket("192.168.10.5", "8.8.8.8", b"x"))
+        assert not delivery.success
+        assert delivery.failure == "no-sig-announces-destination"
+        assert eth.stats.no_route == 1
+
+    def test_failover_over_scion(self, fabric, world):
+        _, eth, ufms = fabric
+        packet = LegacyIpPacket("192.168.10.5", "192.168.20.7", b"x")
+        first = eth.forward(packet)
+        # Cut the link the preferred path used; traffic must still flow.
+        assert first.via is not None
+        cut = None
+        for hop_ifid in first.via.interfaces:
+            ia_text, ifid = hop_ifid.split("#")
+            iface = world.network.topology.get(IA.parse(ia_text)).interfaces[int(ifid)]
+            if "ufms" in iface.link_name:
+                cut = iface.link_name
+                break
+        assert cut is not None
+        world.network.set_link_state(cut, False)
+        try:
+            second = eth.forward(packet)
+            assert second.success
+            assert second.via.fingerprint != first.via.fingerprint
+        finally:
+            world.network.set_link_state(cut, True)
+
+    def test_overlapping_prefixes_rejected(self, world):
+        fabric = SigFabric()
+        fabric.attach(ScionIpGateway(
+            world.network, IA.parse("71-225"), ["10.5.0.0/16"], name="a",
+        ))
+        with pytest.raises(SigError, match="overlaps"):
+            fabric.attach(ScionIpGateway(
+                world.network, IA.parse("71-88"), ["10.5.5.0/24"], name="b",
+            ))
+
+    def test_longest_prefix_match(self, world):
+        fabric = SigFabric()
+        coarse = ScionIpGateway(
+            world.network, IA.parse("71-225"), ["10.0.0.0/8"], name="coarse",
+        )
+        fine = ScionIpGateway(
+            world.network, IA.parse("71-88"), ["172.16.1.0/24"], name="fine",
+        )
+        fabric.attach(coarse)
+        fabric.attach(fine)
+        assert fabric.lookup("10.1.2.3") is coarse
+        assert fabric.lookup("172.16.1.9") is fine
+        assert fabric.lookup("203.0.113.1") is None
+
+    def test_detached_gateway_rejected(self, world):
+        sig = ScionIpGateway(world.network, IA.parse("71-225"), ["10.0.0.0/8"])
+        with pytest.raises(SigError, match="fabric"):
+            sig.forward(LegacyIpPacket("10.0.0.1", "10.0.0.2", b"x"))
+
+    def test_empty_prefixes_rejected(self, world):
+        with pytest.raises(SigError):
+            ScionIpGateway(world.network, IA.parse("71-225"), [])
+
+
+class TestShowpaths:
+    def test_lists_all_paths_with_status(self, world):
+        entries = showpaths(
+            world.network, IA.parse("71-2:0:42"), IA.parse("71-1916")
+        )
+        assert entries
+        assert all(e.status == "alive" for e in entries)
+        assert all(e.latency_ms and e.latency_ms > 0 for e in entries)
+        assert len({e.fingerprint for e in entries}) == len(entries)
+
+    def test_timeout_status_on_dead_path(self, world):
+        world.network.set_link_state("wacren-geant-1", False)
+        world.network.set_link_state("wacren-geant-2", False)
+        try:
+            entries = showpaths(
+                world.network, IA.parse("71-20965"), IA.parse("71-37288")
+            )
+            assert entries
+            assert all(e.status == "timeout" for e in entries)
+        finally:
+            world.network.set_link_state("wacren-geant-1", True)
+            world.network.set_link_state("wacren-geant-2", True)
+
+    def test_hops_format(self, world):
+        entries = showpaths(
+            world.network, IA.parse("71-2:0:42"), IA.parse("71-20965"),
+            probe=False,
+        )
+        first = entries[0]
+        assert first.hops.startswith("71-2:0:42 ")
+        assert ">" in first.hops
+        assert first.hops.endswith("71-20965")
+        assert first.status == "unprobed"
+
+    def test_report_format(self, world):
+        entries = showpaths(
+            world.network, IA.parse("71-559"), IA.parse("71-1140")
+        )
+        report = format_report(entries)
+        assert f"Available paths: {len(entries)}" in report
+        assert "status=alive" in report

@@ -1,0 +1,99 @@
+"""Unit tests for the beacon store's selection policy."""
+
+import pytest
+
+from repro.scion.addr import IA
+from repro.scion.control.beaconing import BeaconStore
+from repro.scion.control.segments import ASEntry, Beacon
+from repro.scion.crypto.keys import SymmetricKey
+from repro.scion.crypto.rsa import RsaKeyPair
+from repro.scion.path import HopField
+
+KEY = SymmetricKey(b"s" * 32)
+SIGNER = RsaKeyPair.generate(seed=5)
+TS = 1000
+
+
+def make_beacon(origin_asn: int, hop_path):
+    """Build a beacon through the given (asn, ingress, egress) hops."""
+    beacon = Beacon.originate(
+        IA(71, origin_asn), KEY, SIGNER, TS, egress_ifid=hop_path[0][2]
+    )
+    beta = beacon.next_beta()
+    for asn, ingress, egress in hop_path[1:]:
+        hop = HopField.create(
+            IA(71, asn), KEY, TS, cons_ingress=ingress,
+            cons_egress=egress, beta=beta,
+        )
+        beacon = beacon.with_entry(
+            ASEntry(ia=IA(71, asn), hop=hop), SIGNER
+        )
+        beta = beacon.entries[-1].hop.next_beta()
+    return beacon
+
+
+class TestBeaconStore:
+    def test_insert_dedups_by_interfaces(self):
+        store = BeaconStore()
+        beacon = make_beacon(1, [(1, 0, 5), (2, 3, 0)])
+        assert store.insert(beacon)
+        assert not store.insert(beacon)
+        assert len(store.all_beacons()) == 1
+
+    def test_capacity_eviction_prefers_shorter(self):
+        store = BeaconStore(capacity_per_origin=2)
+        long1 = make_beacon(1, [(1, 0, 5), (2, 3, 7), (3, 2, 0)])
+        long2 = make_beacon(1, [(1, 0, 6), (2, 4, 8), (3, 1, 0)])
+        short = make_beacon(1, [(1, 0, 5), (3, 9, 0)])
+        assert store.insert(long1)
+        assert store.insert(long2)
+        assert store.insert(short)  # evicts one of the long ones
+        lengths = sorted(len(b) for b in store.all_beacons())
+        assert lengths == [2, 3]
+
+    def test_newcomer_longer_than_worst_dropped_at_capacity(self):
+        store = BeaconStore(capacity_per_origin=1)
+        short = make_beacon(1, [(1, 0, 5), (3, 9, 0)])
+        long = make_beacon(1, [(1, 0, 6), (2, 4, 8), (3, 1, 0)])
+        assert store.insert(short)
+        assert not store.insert(long)
+
+    def test_select_bounds_detour(self):
+        store = BeaconStore()
+        short = make_beacon(1, [(1, 0, 5), (2, 1, 0)])                 # 2 hops
+        medium = make_beacon(1, [(1, 0, 6), (3, 2, 4), (2, 9, 0)])    # 3 hops
+        monster = make_beacon(
+            1,
+            [(1, 0, 7), (4, 1, 2), (5, 3, 4), (6, 5, 6), (7, 7, 8),
+             (2, 11, 0)],
+        )  # 6 hops: detour 4 over the shortest
+        for beacon in (short, medium, monster):
+            store.insert(beacon)
+        selected = store.select(IA(71, 1), k=10, max_detour=2)
+        assert short in selected
+        assert medium in selected
+        assert monster not in selected
+        # Without the bound, everything comes back.
+        assert len(store.select(IA(71, 1), k=10, max_detour=10)) == 3
+
+    def test_select_prefers_interface_diversity(self):
+        store = BeaconStore()
+        base = make_beacon(1, [(1, 0, 5), (2, 3, 0)])
+        clone_ish = make_beacon(1, [(1, 0, 5), (2, 4, 0)])   # shares egress 5
+        diverse = make_beacon(1, [(1, 0, 6), (2, 9, 0)])     # all-new ifaces
+        for beacon in (base, clone_ish, diverse):
+            store.insert(beacon)
+        top2 = store.select(IA(71, 1), k=2)
+        # The diverse beacon always survives; the two near-clones share
+        # interfaces, so at most one of them is kept.
+        assert diverse in top2
+        assert sum(1 for b in (base, clone_ish) if b in top2) == 1
+
+    def test_origins_sorted(self):
+        store = BeaconStore()
+        store.insert(make_beacon(2, [(2, 0, 5), (9, 3, 0)]))
+        store.insert(make_beacon(1, [(1, 0, 5), (9, 4, 0)]))
+        assert store.origins() == [IA(71, 1), IA(71, 2)]
+
+    def test_beacons_from_unknown_origin_empty(self):
+        assert BeaconStore().beacons_from(IA(71, 42)) == []

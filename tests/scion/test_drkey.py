@@ -1,0 +1,83 @@
+"""Tests for the DRKey hierarchy."""
+
+import pytest
+
+from repro.scion.crypto.drkey import (
+    DEFAULT_EPOCH_S,
+    DrkeyClient,
+    DrkeyError,
+    DrkeyProvider,
+    epoch_at,
+)
+from repro.scion.crypto.keys import SymmetricKey
+
+MASTER = SymmetricKey(b"m" * 32)
+
+
+@pytest.fixture()
+def provider():
+    return DrkeyProvider("71-20965", MASTER)
+
+
+class TestEpochs:
+    def test_epoch_contains_its_times(self):
+        epoch = epoch_at(100_000.0)
+        assert epoch.contains(100_000.0)
+        assert epoch.contains(epoch.not_before)
+        assert not epoch.contains(epoch.not_after)
+
+    def test_epoch_boundaries_consecutive(self):
+        first = epoch_at(0.0)
+        second = epoch_at(DEFAULT_EPOCH_S)
+        assert second.index == first.index + 1
+        assert second.not_before == first.not_after
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(DrkeyError):
+            epoch_at(-1.0)
+
+
+class TestDerivation:
+    def test_both_sides_derive_the_same_key(self, provider):
+        client = DrkeyClient("71-2:0:3b")
+        fetched = client.fetch(provider, t=5_000.0)
+        derived = provider.level1_key("71-2:0:3b", t=5_000.0)
+        assert fetched.value == derived.value
+
+    def test_host_keys_agree_and_differ_per_host(self, provider):
+        client = DrkeyClient("71-2:0:3b")
+        client.fetch(provider, t=5_000.0)
+        fast = provider.host_key("71-2:0:3b", "10.0.0.7", t=5_000.0)
+        slow = client.host_key("71-20965", "10.0.0.7", t=5_000.0)
+        assert fast.value == slow.value
+        other = provider.host_key("71-2:0:3b", "10.0.0.8", t=5_000.0)
+        assert other.value != fast.value
+
+    def test_keys_differ_per_remote_as(self, provider):
+        k1 = provider.level1_key("71-2:0:3b", t=0.0)
+        k2 = provider.level1_key("71-225", t=0.0)
+        assert k1.value != k2.value
+
+    def test_keys_roll_with_the_epoch(self, provider):
+        k1 = provider.level1_key("71-2:0:3b", t=0.0)
+        k2 = provider.level1_key("71-2:0:3b", t=DEFAULT_EPOCH_S + 1)
+        assert k1.value != k2.value
+
+    def test_client_caches_within_epoch(self, provider):
+        client = DrkeyClient("71-2:0:3b")
+        client.fetch(provider, t=0.0)
+        client.fetch(provider, t=100.0)
+        assert client.fetches == 1
+        client.fetch(provider, t=DEFAULT_EPOCH_S + 5)
+        assert client.fetches == 2
+
+    def test_host_key_without_fetch_rejected(self, provider):
+        client = DrkeyClient("71-2:0:3b")
+        with pytest.raises(DrkeyError, match="fetch first"):
+            client.host_key("71-20965", "10.0.0.7", t=0.0)
+
+    def test_secret_values_distinct_per_as(self):
+        a = DrkeyProvider("71-1", MASTER)
+        b = DrkeyProvider("71-2", MASTER)
+        epoch = epoch_at(0.0)
+        assert a.secret_value(epoch).value != b.secret_value(epoch).value

@@ -1,0 +1,38 @@
+"""Tests for SCMP messages."""
+
+import pytest
+
+from repro.scion.scmp import (
+    ScmpMessage,
+    ScmpType,
+    echo_reply,
+    echo_request,
+    interface_down,
+)
+
+
+def test_echo_round_trip():
+    request = echo_request(identifier=7, sequence=42)
+    decoded = ScmpMessage.decode(request.encode())
+    assert decoded == request
+
+
+def test_echo_reply_mirrors_identifier_and_sequence():
+    request = echo_request(identifier=7, sequence=42)
+    reply = echo_reply(request)
+    assert reply.scmp_type is ScmpType.ECHO_REPLY
+    assert (reply.identifier, reply.sequence) == (7, 42)
+
+
+def test_echo_reply_requires_request():
+    reply = echo_reply(echo_request(1, 1))
+    with pytest.raises(ValueError):
+        echo_reply(reply)
+
+
+def test_interface_down_carries_origin_and_ifid():
+    msg = interface_down("71-2:0:3b", 5)
+    decoded = ScmpMessage.decode(msg.encode())
+    assert decoded.origin_ia == "71-2:0:3b"
+    assert decoded.info == 5
+    assert decoded.scmp_type is ScmpType.EXTERNAL_INTERFACE_DOWN

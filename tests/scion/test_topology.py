@@ -1,0 +1,97 @@
+"""Unit tests for GlobalTopology construction and validation."""
+
+import pytest
+
+from repro.scion.addr import IA
+from repro.scion.topology import GlobalTopology, LinkType, TopologyError
+
+C1 = IA.parse("71-1")
+C2 = IA.parse("71-2")
+A = IA.parse("71-100")
+
+
+def minimal():
+    topo = GlobalTopology()
+    topo.add_as(C1, is_core=True)
+    topo.add_as(A)
+    topo.add_link(A, C1, LinkType.PARENT, 0.01)
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_as_rejected(self):
+        topo = minimal()
+        with pytest.raises(TopologyError, match="already present"):
+            topo.add_as(A)
+
+    def test_unknown_as_lookup_rejected(self):
+        with pytest.raises(TopologyError, match="unknown AS"):
+            minimal().get(C2)
+
+    def test_duplicate_link_name_rejected(self):
+        topo = minimal()
+        topo.add_as(C2, is_core=True)
+        topo.add_link(C1, C2, LinkType.CORE, 0.01, link_name="x")
+        with pytest.raises(TopologyError, match="already exists"):
+            topo.add_link(C1, C2, LinkType.CORE, 0.01, link_name="x")
+
+    def test_auto_link_names_unique_for_parallel_links(self):
+        topo = minimal()
+        topo.add_as(C2, is_core=True)
+        l1 = topo.add_link(C1, C2, LinkType.CORE, 0.01)
+        l2 = topo.add_link(C1, C2, LinkType.CORE, 0.02)
+        assert l1.name != l2.name
+
+    def test_interface_ids_symmetric(self):
+        topo = minimal()
+        ((ia_a, ifid_a), (ia_b, ifid_b)) = topo.link_attachments["71-100--71-1"]
+        iface_a = topo.get(ia_a).interfaces[ifid_a]
+        iface_b = topo.get(ia_b).interfaces[ifid_b]
+        assert iface_a.remote_ifid == iface_b.ifid
+        assert iface_b.remote_ifid == iface_a.ifid
+        assert iface_a.link_type is LinkType.PARENT
+        assert iface_b.link_type is LinkType.CHILD
+
+    def test_global_interface_id_format(self):
+        topo = minimal()
+        iface = next(iter(topo.get(A).interfaces.values()))
+        assert iface.global_id(A) == f"{A}#{iface.ifid}"
+
+    def test_neighbors_by_link_type(self):
+        topo = minimal()
+        assert topo.get(A).neighbors(LinkType.PARENT) == [C1]
+        assert topo.get(C1).neighbors(LinkType.CHILD) == [A]
+        assert topo.get(A).neighbors(LinkType.CORE) == []
+
+    def test_link_between(self):
+        topo = minimal()
+        iface = next(iter(topo.get(A).interfaces.values()))
+        assert topo.link_between(A, iface.ifid) is not None
+        assert topo.link_between(A, 99) is None
+
+    def test_core_ases_per_isd(self):
+        topo = minimal()
+        topo.add_as(IA.parse("64-1"), is_core=True)
+        assert topo.core_ases() == [IA.parse("64-1"), C1]
+        assert topo.core_ases(isd=71) == [C1]
+        assert topo.isds() == [64, 71]
+
+
+class TestValidation:
+    def test_valid_topology_passes(self):
+        minimal().validate()
+
+    def test_orphan_leaf_rejected(self):
+        topo = GlobalTopology()
+        topo.add_as(C1, is_core=True)
+        topo.add_as(A)  # no parent link
+        with pytest.raises(TopologyError, match="no parent link"):
+            topo.validate()
+
+    def test_core_with_parent_rejected(self):
+        topo = GlobalTopology()
+        topo.add_as(C1, is_core=True)
+        topo.add_as(C2, is_core=True)
+        topo.add_link(C1, C2, LinkType.PARENT, 0.01)
+        with pytest.raises(TopologyError, match="must not have parent"):
+            topo.validate()

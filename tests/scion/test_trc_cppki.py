@@ -1,0 +1,216 @@
+"""Tests for TRCs (chaining/updates) and the control-plane PKI."""
+
+import dataclasses
+
+import pytest
+
+from repro.scion.crypto.ca import CaService
+from repro.scion.crypto.cppki import (
+    Certificate,
+    CertificateError,
+    CertType,
+    make_self_signed_root,
+    verify_chain,
+)
+from repro.scion.crypto.rsa import RsaKeyPair
+from repro.scion.crypto.trc import Trc, TrcError, verify_trc_chain
+
+NOW = 1_000_000.0
+LATER = NOW + 365 * 24 * 3600
+
+
+@pytest.fixture(scope="module")
+def roots():
+    return {
+        "root-a": RsaKeyPair.generate(seed=1),
+        "root-b": RsaKeyPair.generate(seed=2),
+        "root-c": RsaKeyPair.generate(seed=3),
+    }
+
+
+def base_trc(roots, quorum=2, serial=1):
+    return Trc(
+        isd=71,
+        serial=serial,
+        base_serial=1,
+        not_before=NOW,
+        not_after=LATER,
+        core_ases=("71-1", "71-2"),
+        authoritative_ases=("71-1",),
+        root_keys={name: key.public for name, key in roots.items()},
+        voting_quorum=quorum,
+        description="test TRC",
+    )
+
+
+class TestTrc:
+    def test_base_trc_with_quorum_verifies(self, roots):
+        trc = base_trc(roots).with_votes(
+            {"root-a": roots["root-a"], "root-b": roots["root-b"]}
+        )
+        trc.verify_base()
+
+    def test_insufficient_quorum_rejected(self, roots):
+        trc = base_trc(roots).with_votes({"root-a": roots["root-a"]})
+        with pytest.raises(TrcError, match="quorum"):
+            trc.verify_base()
+
+    def test_unknown_voter_rejected(self, roots):
+        trc = base_trc(roots).with_votes(
+            {"root-a": roots["root-a"], "mallory": RsaKeyPair.generate(seed=9)}
+        )
+        with pytest.raises(TrcError, match="unknown voter"):
+            trc.verify_base()
+
+    def test_bad_signature_rejected(self, roots):
+        trc = base_trc(roots).with_votes(
+            {"root-a": roots["root-a"], "root-b": RsaKeyPair.generate(seed=9)}
+        )
+        with pytest.raises(TrcError, match="invalid signature"):
+            trc.verify_base()
+
+    def test_update_chain(self, roots):
+        trc1 = base_trc(roots).with_votes(
+            {"root-a": roots["root-a"], "root-b": roots["root-b"]}
+        )
+        trc2 = dataclasses.replace(
+            base_trc(roots, serial=2), votes=()
+        ).with_votes({"root-a": roots["root-a"], "root-c": roots["root-c"]})
+        trc2.verify_update(trc1)
+        verify_trc_chain([trc1, trc2])
+
+    def test_update_must_be_consecutive(self, roots):
+        trc1 = base_trc(roots).with_votes(
+            {"root-a": roots["root-a"], "root-b": roots["root-b"]}
+        )
+        trc3 = base_trc(roots, serial=3).with_votes(
+            {"root-a": roots["root-a"], "root-b": roots["root-b"]}
+        )
+        with pytest.raises(TrcError, match="non-consecutive"):
+            trc3.verify_update(trc1)
+
+    def test_update_votes_checked_against_predecessor_voters(self, roots):
+        """A TRC update signed only by keys NOT in the predecessor fails —
+        this is the chaining property that lets clients trust new TRCs."""
+        trc1 = base_trc(roots).with_votes(
+            {"root-a": roots["root-a"], "root-b": roots["root-b"]}
+        )
+        rogue = {"rogue-1": RsaKeyPair.generate(seed=21),
+                 "rogue-2": RsaKeyPair.generate(seed=22)}
+        trc2 = Trc(
+            isd=71, serial=2, base_serial=1,
+            not_before=NOW, not_after=LATER,
+            core_ases=("71-666",), authoritative_ases=("71-666",),
+            root_keys={n: k.public for n, k in rogue.items()},
+            voting_quorum=2,
+        ).with_votes(rogue)
+        with pytest.raises(TrcError):
+            trc2.verify_update(trc1)
+
+    def test_validity_window(self, roots):
+        trc = base_trc(roots)
+        assert trc.valid_at(NOW)
+        assert not trc.valid_at(NOW - 1)
+        assert not trc.valid_at(LATER)
+
+    def test_impossible_quorum_rejected_at_construction(self, roots):
+        with pytest.raises(TrcError):
+            base_trc(roots, quorum=4)
+        with pytest.raises(TrcError):
+            base_trc(roots, quorum=0)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(TrcError):
+            verify_trc_chain([])
+
+
+@pytest.fixture(scope="module")
+def pki(roots):
+    """root -> CA -> AS chain plus the anchoring TRC."""
+    root_key = roots["root-a"]
+    root_cert = make_self_signed_root("root-a", root_key, NOW, LATER)
+    ca_key = RsaKeyPair.generate(seed=50)
+    ca_cert = Certificate(
+        subject="ca-71", cert_type=CertType.CA, public_key=ca_key.public,
+        issuer="root-a", not_before=NOW, not_after=LATER, serial=1,
+    ).signed_by(root_key)
+    trc = base_trc(roots).with_votes(
+        {"root-a": roots["root-a"], "root-b": roots["root-b"]}
+    )
+    ca = CaService("ca-71", ca_key, ca_cert, root_cert)
+    return dict(root_key=root_key, root_cert=root_cert, ca=ca, trc=trc)
+
+
+class TestCertChains:
+    def test_valid_chain_verifies(self, pki):
+        as_key = RsaKeyPair.generate(seed=60)
+        issued = pki["ca"].issue_as_certificate("71-100", as_key.public, NOW)
+        verify_chain(issued.chain(), pki["trc"], NOW + 10)
+
+    def test_expired_as_cert_rejected(self, pki):
+        as_key = RsaKeyPair.generate(seed=61)
+        issued = pki["ca"].issue_as_certificate(
+            "71-101", as_key.public, NOW, lifetime_s=3600
+        )
+        with pytest.raises(CertificateError, match="expired"):
+            verify_chain(issued.chain(), pki["trc"], NOW + 7200)
+
+    def test_root_not_in_trc_rejected(self, pki, roots):
+        foreign_root_key = RsaKeyPair.generate(seed=70)
+        foreign_root = make_self_signed_root("evil-root", foreign_root_key, NOW, LATER)
+        ca_key = RsaKeyPair.generate(seed=71)
+        ca_cert = Certificate(
+            subject="evil-ca", cert_type=CertType.CA, public_key=ca_key.public,
+            issuer="evil-root", not_before=NOW, not_after=LATER, serial=1,
+        ).signed_by(foreign_root_key)
+        ca = CaService("evil-ca", ca_key, ca_cert, foreign_root)
+        issued = ca.issue_as_certificate("71-100", RsaKeyPair.generate(seed=72).public, NOW)
+        with pytest.raises(CertificateError, match="not anchored"):
+            verify_chain(issued.chain(), pki["trc"], NOW + 10)
+
+    def test_as_cert_cannot_issue(self, pki):
+        as_key = RsaKeyPair.generate(seed=62)
+        issued = pki["ca"].issue_as_certificate("71-100", as_key.public, NOW)
+        fake_leaf = Certificate(
+            subject="71-999", cert_type=CertType.AS,
+            public_key=RsaKeyPair.generate(seed=63).public,
+            issuer="71-100", not_before=NOW, not_after=LATER, serial=9,
+        ).signed_by(as_key)
+        chain = (fake_leaf, issued.certificate, pki["root_cert"])
+        with pytest.raises(CertificateError, match="may not issue"):
+            verify_chain(chain, pki["trc"], NOW + 10)
+
+    def test_issuer_mismatch_detected(self, pki):
+        as_key = RsaKeyPair.generate(seed=64)
+        issued = pki["ca"].issue_as_certificate("71-100", as_key.public, NOW)
+        bad = dataclasses.replace(issued.certificate, issuer="somebody-else")
+        with pytest.raises(CertificateError):
+            verify_chain((bad, issued.ca_certificate, issued.root_certificate),
+                         pki["trc"], NOW + 10)
+
+
+class TestCaService:
+    def test_short_lived_and_renewal(self, pki):
+        ca = pki["ca"]
+        as_key = RsaKeyPair.generate(seed=80)
+        issued = ca.issue_as_certificate("71-200", as_key.public, NOW)
+        lifetime = issued.certificate.not_after - issued.certificate.not_before
+        assert lifetime == pytest.approx(3 * 24 * 3600)
+        # Not yet in the renewal window right after issuance.
+        assert not ca.needs_renewal(issued.certificate, NOW + 3600)
+        # Inside the final third of the lifetime: renew.
+        assert ca.needs_renewal(issued.certificate, NOW + lifetime * 0.8)
+        renewed = ca.renew("71-200", NOW + lifetime * 0.8)
+        assert renewed.certificate.not_after > issued.certificate.not_after
+        assert renewed.certificate.public_key == issued.certificate.public_key
+        verify_chain(renewed.chain(), pki["trc"], NOW + lifetime * 0.9)
+
+    def test_renew_unknown_subject_rejected(self, pki):
+        with pytest.raises(CertificateError, match="no certificate"):
+            pki["ca"].renew("71-404", NOW)
+
+    def test_issuance_counting(self, pki):
+        ca = pki["ca"]
+        before = ca.issuance_count("71-300")
+        ca.issue_as_certificate("71-300", RsaKeyPair.generate(seed=81).public, NOW)
+        assert ca.issuance_count("71-300") == before + 1
