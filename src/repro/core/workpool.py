@@ -1,0 +1,39 @@
+"""Opt-in worker-pool fan-out for embarrassingly parallel analysis sweeps.
+
+The measurement and path-quality layers iterate independent (src, dst)
+pairs whose per-pair work is pure given a built world (path combination,
+MAC verification, disjointness).  ``fan_out`` runs such a sweep serially by
+default and over a thread pool when a worker count is supplied, always
+returning results in input order so callers stay deterministic regardless
+of scheduling.
+
+Threads are the right default pool here: per-pair results are assembled by
+key (never by completion order), the shared caches touched underneath
+(path cache, path-server cache) are plain dicts whose per-key writes are
+atomic under CPython, and a process pool would have to pickle a whole
+built world per worker.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def fan_out(
+    fn: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    workers: int = 0,
+) -> List[ResultT]:
+    """Apply ``fn`` to every item, preserving input order.
+
+    ``workers <= 1`` runs serially (no pool, no thread overhead); anything
+    larger fans out over a thread pool of that size.
+    """
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

@@ -49,13 +49,17 @@ class HappyEyeballs:
         never complete. The earliest completion wins; ties favor the more
         preferred transport (it started earlier, so a tie means it is not
         slower).
+
+        Per RFC 8305, no new attempts are started once a connection has
+        been established: ``attempts_started`` counts only attempts whose
+        stagger start lies strictly before the winner's completion (plus
+        those fired at the very start of the race, which are always
+        launched).
         """
         if not attempts:
             raise ValueError("no connection attempts supplied")
         viable: List[Tuple[float, int, str]] = []
-        started = 0
         for attempt in attempts:
-            started += 1
             if attempt.connect_rtt_s is None:
                 continue
             if attempt.connect_rtt_s < 0:
@@ -67,6 +71,11 @@ class HappyEyeballs:
         if not viable:
             raise ConnectionError("all transports unavailable")
         finish, rank, transport = min(viable)
+        started = sum(
+            1 for attempt in attempts
+            if attempt.preference_rank * self.stagger_s < finish
+            or attempt.preference_rank * self.stagger_s == 0.0
+        )
         return RaceOutcome(
             winner=transport,
             established_at_s=finish,

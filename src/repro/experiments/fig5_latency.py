@@ -2,18 +2,19 @@
 
 from __future__ import annotations
 
-from repro.experiments.common import get_campaign
+from repro.experiments.common import campaign_engine_note, get_campaign
 from repro.experiments.registry import Comparison, ExperimentResult
 from repro.sciera.analysis import fig5_latency_cdf
 
 
 def run(fast: bool = True) -> ExperimentResult:
-    result = fig5_latency_cdf(get_campaign(fast))
+    dataset = get_campaign(fast)
+    result = fig5_latency_cdf(dataset)
     xs, ys = result.cdf_scion()
     series = "  CDF sample points (SCION): " + ", ".join(
         f"p{int(p*100)}={xs[min(len(xs)-1, int(p*len(xs)))]:.0f}ms"
         for p in (0.1, 0.25, 0.5, 0.75, 0.9)
-    )
+    ) + "\n" + campaign_engine_note(dataset)
     return ExperimentResult(
         "fig5", "Ping latency CDF, SCION vs IP",
         comparisons=[

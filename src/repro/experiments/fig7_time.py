@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import get_campaign
+from repro.experiments.common import campaign_engine_note, get_campaign
 from repro.experiments.registry import Comparison, ExperimentResult
 from repro.sciera.analysis import fig7_ratio_over_time
 
@@ -26,12 +26,13 @@ def _stabilization_row(result) -> Comparison:
 
 
 def run(fast: bool = True) -> ExperimentResult:
-    result = fig7_ratio_over_time(get_campaign(fast))
+    dataset = get_campaign(fast)
+    result = fig7_ratio_over_time(dataset)
     series = result.ratio_series
     sparkline = "  day: " + "  ".join(
         f"{d:.1f}:{v:.2f}"
         for d, v in zip(result.bucket_times_days[::4], series[::4])
-    )
+    ) + "\n" + campaign_engine_note(dataset)
     return ExperimentResult(
         "fig7", "RTT ratio over time",
         comparisons=[

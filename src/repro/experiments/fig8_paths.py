@@ -4,14 +4,15 @@ from __future__ import annotations
 
 import statistics
 
-from repro.experiments.common import get_campaign
+from repro.experiments.common import campaign_engine_note, get_campaign
 from repro.experiments.registry import Comparison, ExperimentResult
 from repro.sciera.analysis import fig8_max_active_paths
 from repro.sciera.topology_data import FIG8_ASES
 
 
 def run(fast: bool = True) -> ExperimentResult:
-    result = fig8_max_active_paths(get_campaign(fast), FIG8_ASES)
+    dataset = get_campaign(fast)
+    result = fig8_max_active_paths(dataset, FIG8_ASES)
     values = result.values()
     lines = ["  src \\ dst        " + " ".join(f"{a:>10}" for a in FIG8_ASES)]
     for src in FIG8_ASES:
@@ -20,6 +21,7 @@ def run(fast: bool = True) -> ExperimentResult:
             f"{'-' if v is None else v:>10}" for v in row
         )
         lines.append(f"  {src:<16} {cells}")
+    lines.append(campaign_engine_note(dataset))
     uva_ufms = result.matrix.get(("71-225", "71-2:0:5c"), 0)
     return ExperimentResult(
         "fig8", "Max active paths between the 9 measured ASes",

@@ -10,7 +10,7 @@ expresses such timelines as declarative schedules applied to named links.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.netsim.link import Link
 from repro.netsim.simulator import Simulator
@@ -82,8 +82,24 @@ class FailureSchedule:
                 raise ValueError("repair must come after the cut")
             self.add_event(LinkEvent(repair_s, link_name, up=True, reason="repaired"))
 
+    def link_names(self) -> Set[str]:
+        """Every link this schedule will ever touch.
+
+        Measurement layers use this to decide which links need a reverse
+        index entry before any event fires.
+        """
+        return {event.link_name for event in self._events}
+
     def subscribe(self, observer: Callable[[LinkEvent], None]) -> None:
         self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[LinkEvent], None]) -> None:
+        """Detach an observer; unknown observers are ignored so teardown
+        paths can call this unconditionally."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     def install(self, sim: Simulator, links: Dict[str, Link]) -> None:
         """Schedule every event onto the simulator.

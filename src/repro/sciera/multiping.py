@@ -20,6 +20,16 @@ The tool-stall bug is reproduced too: ICMP measurement from some vantage
 points stalled after the first 15-30 minutes of each hour until the hourly
 restart; the analysis (Figure 5) excludes intervals where the majority of
 ICMP pings are missing.
+
+Refresh engine: each pair's one-time static analysis records the links its
+paths traverse, which feeds a reverse index (link name -> affected pairs).
+Link events then re-derive the shortest/fastest/disjoint selection only for
+pairs whose paths actually cross the flipped link, instead of rescanning
+every pair (``refresh_mode="full"`` keeps the old O(pairs x paths) rescan
+for comparison; both modes produce identical records).  The one-time
+analysis sweep — pure-Python MAC verification over every pair, the cold-
+start cost — optionally fans out over a worker pool (``workers``).
+:class:`CampaignStats` counts what the engine actually did.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.workpool import fan_out
 from repro.netsim.failures import FailureSchedule, LinkEvent, MaintenanceWindow
 from repro.netsim.simulator import Simulator
 from repro.scion.addr import IA
@@ -58,6 +69,43 @@ class IntervalRecord:
 
 
 @dataclass
+class CampaignStats:
+    """What the campaign's refresh engine actually did.
+
+    Experiments and benchmarks surface these so the incremental engine's
+    savings are observable, not asserted: ``pairs_refreshed`` is the total
+    number of per-pair re-derivations across the run (the full-rescan
+    engine pays ``pair count`` on every event-dirty interval; the
+    incremental engine pays only for pairs whose paths cross the flipped
+    link).
+    """
+
+    analyses_run: int = 0            # one-time static path analyses (pairs)
+    refresh_events: int = 0          # link events observed by the engine
+    pairs_refreshed: int = 0         # per-pair re-derivations executed
+    full_refreshes: int = 0          # all-pairs refresh rounds
+    incremental_refreshes: int = 0   # link-indexed refresh rounds
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "analyses_run": self.analyses_run,
+            "refresh_events": self.refresh_events,
+            "pairs_refreshed": self.pairs_refreshed,
+            "full_refreshes": self.full_refreshes,
+            "incremental_refreshes": self.incremental_refreshes,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.pairs_refreshed} pair refreshes over "
+            f"{self.refresh_events} link events "
+            f"({self.full_refreshes} full / "
+            f"{self.incremental_refreshes} incremental rounds, "
+            f"{self.analyses_run} pairs analyzed)"
+        )
+
+
+@dataclass
 class CampaignDataset:
     """All records of one campaign plus its configuration echo."""
 
@@ -67,6 +115,7 @@ class CampaignDataset:
     sources: Tuple[str, ...]
     destinations: Tuple[str, ...]
     events: Tuple[LinkEvent, ...]
+    stats: CampaignStats = field(default_factory=CampaignStats)
 
     @property
     def pair_count(self) -> int:
@@ -182,9 +231,18 @@ class MultipingCampaign:
         stall_sources: Optional[Sequence[str]] = None,
         seed: int = 0,
         rtt_jitter: float = 0.01,
+        refresh_mode: str = "incremental",
+        workers: int = 0,
     ):
         if interval_s <= 0 or duration_s <= 0:
             raise ValueError("duration and interval must be positive")
+        if refresh_mode not in ("incremental", "full"):
+            raise ValueError(
+                f"refresh_mode must be 'incremental' or 'full', "
+                f"got {refresh_mode!r}"
+            )
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
         self.world = world
         self.duration_s = duration_s
         self.interval_s = interval_s
@@ -209,9 +267,22 @@ class MultipingCampaign:
         )
         self.rng = random.Random(seed)
         self.rtt_jitter = rtt_jitter
+        self.refresh_mode = refresh_mode
+        self.workers = workers
+        self.stats = CampaignStats()
         self._stall_starts: Dict[int, float] = {}
+        self._pairs: List[Tuple[str, str]] = [
+            (src, dst)
+            for src in self.sources
+            for dst in self.destinations
+            if src != dst
+        ]
         self._states: Dict[Tuple[str, str], _PairState] = {}
-        self._dirty = True  # force initial probe
+        #: link name -> pairs whose analyzed paths traverse that link
+        self._link_index: Dict[str, Set[Tuple[str, str]]] = {}
+        #: pairs whose selection must be re-derived (incremental mode)
+        self._pending: Set[Tuple[str, str]] = set()
+        self._dirty = False  # all-pairs re-derivation needed (full mode)
 
     # -- probing ---------------------------------------------------------------------
 
@@ -250,18 +321,57 @@ class MultipingCampaign:
             ),
         )
 
-    def _refresh_all(self, now: float) -> None:
-        for src in self.sources:
-            for dst in self.destinations:
-                if src == dst:
-                    continue
-                key = (src, dst)
-                state = self._states.get(key)
-                if state is None:
-                    state = self._analyze_pair(src, dst)
-                    self._states[key] = state
-                self._refresh_pair(state)
+    def _ensure_analyzed(self) -> None:
+        """The one-time all-pairs analysis sweep (cold-start cost).
+
+        Builds the pair states, the link -> pairs reverse index, and the
+        initial path selection.  Fans out over a thread pool when
+        ``workers`` > 1; results are assembled by pair key, so the outcome
+        is identical to the serial sweep.
+        """
+        if self._states:
+            return
+        states = fan_out(
+            lambda key: self._analyze_pair(*key), self._pairs, self.workers
+        )
+        for key, state in zip(self._pairs, states):
+            self._states[key] = state
+            for _, analysis in state.analyses:
+                for link in analysis.links:
+                    self._link_index.setdefault(link.name, set()).add(key)
+            self._refresh_pair(state)
+        self.stats.analyses_run += len(self._pairs)
+        self.stats.full_refreshes += 1
+        self.stats.pairs_refreshed += len(self._pairs)
+        # Events that fired before the sweep (e.g. at t=0) are already
+        # reflected in the selection just derived.
         self._dirty = False
+        self._pending.clear()
+
+    def _on_link_event(self, event: LinkEvent) -> None:
+        self.stats.refresh_events += 1
+        if self.refresh_mode == "full":
+            self._dirty = True
+        else:
+            self._pending.update(self._link_index.get(event.link_name, ()))
+
+    def _refresh(self) -> None:
+        """Re-derive path selections invalidated since the last interval."""
+        self._ensure_analyzed()
+        if self.refresh_mode == "full":
+            if not self._dirty:
+                return
+            for key in self._pairs:
+                self._refresh_pair(self._states[key])
+            self.stats.full_refreshes += 1
+            self.stats.pairs_refreshed += len(self._pairs)
+            self._dirty = False
+        elif self._pending:
+            for key in sorted(self._pending):
+                self._refresh_pair(self._states[key])
+            self.stats.incremental_refreshes += 1
+            self.stats.pairs_refreshed += len(self._pending)
+            self._pending.clear()
 
     # -- stall model -----------------------------------------------------------------
 
@@ -312,20 +422,19 @@ class MultipingCampaign:
     def run(self) -> CampaignDataset:
         sim = Simulator()
         self.schedule.install(sim, self.world.network.topology.links)
-        self.schedule.subscribe(lambda event: setattr(self, "_dirty", True))
+        self.schedule.subscribe(self._on_link_event)
         records: List[IntervalRecord] = []
 
-        t = 0.0
-        while t < self.duration_s:
-            sim.run(until=t)
-            if self._dirty:
-                self._refresh_all(t)
-            for src in self.sources:
-                for dst in self.destinations:
-                    if src == dst:
-                        continue
+        try:
+            t = 0.0
+            while t < self.duration_s:
+                sim.run(until=t)
+                self._refresh()
+                for src, dst in self._pairs:
                     records.append(self._measure(src, dst, t))
-            t += self.interval_s
+                t += self.interval_s
+        finally:
+            self.schedule.unsubscribe(self._on_link_event)
         return CampaignDataset(
             records=records,
             duration_s=self.duration_s,
@@ -333,6 +442,7 @@ class MultipingCampaign:
             sources=self.sources,
             destinations=self.destinations,
             events=tuple(self.schedule.events),
+            stats=self.stats,
         )
 
     def _measure(self, src: str, dst: str, t: float) -> IntervalRecord:

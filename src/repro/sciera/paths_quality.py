@@ -16,8 +16,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.workpool import fan_out
 from repro.scion.addr import IA
 from repro.sciera.build import ScieraWorld
+
+
+def _ordered_pairs(
+    sources: Sequence[str], destinations: Sequence[str]
+) -> List[Tuple[str, str]]:
+    return [
+        (src, dst) for src in sources for dst in destinations if src != dst
+    ]
 
 
 @dataclass
@@ -36,22 +45,32 @@ def fig10a_latency_inflation(
     sources: Sequence[str],
     destinations: Optional[Sequence[str]] = None,
     near_threshold: float = 1.02,
+    workers: int = 0,
 ) -> Fig10aResult:
-    """d2/d1 per AS pair over the active paths."""
+    """d2/d1 per AS pair over the active paths.
+
+    ``workers`` > 1 fans the per-pair probing out over a thread pool;
+    results are assembled in pair order, so the outcome is identical.
+    """
     network = world.network
     destinations = destinations or sources
-    inflation: Dict[Tuple[str, str], float] = {}
-    for src in sources:
-        for dst in destinations:
-            if src == dst:
-                continue
-            rtts = sorted(
-                network.probe(meta).rtt_s
-                for meta in network.active_paths(IA.parse(src), IA.parse(dst))
-            )
-            if len(rtts) < 2 or rtts[0] <= 0:
-                continue
-            inflation[(src, dst)] = rtts[1] / rtts[0]
+    pairs = _ordered_pairs(sources, destinations)
+
+    def one_pair(pair: Tuple[str, str]) -> Optional[float]:
+        src, dst = pair
+        rtts = sorted(
+            network.probe(meta).rtt_s
+            for meta in network.active_paths(IA.parse(src), IA.parse(dst))
+        )
+        if len(rtts) < 2 or rtts[0] <= 0:
+            return None
+        return rtts[1] / rtts[0]
+
+    inflation: Dict[Tuple[str, str], float] = {
+        pair: value
+        for pair, value in zip(pairs, fan_out(one_pair, pairs, workers))
+        if value is not None
+    }
     if not inflation:
         raise ValueError("no pair had two active paths")
     values = np.asarray(list(inflation.values()))
@@ -95,6 +114,7 @@ def fig10b_path_disjointness(
     sources: Sequence[str],
     destinations: Optional[Sequence[str]] = None,
     max_paths_per_pair: int = 8,
+    workers: int = 0,
 ) -> Fig10bResult:
     """Disjointness over all path combinations of every AS pair.
 
@@ -103,18 +123,25 @@ def fig10b_path_disjointness(
     on disjointness) rather than the shortest prefix: shortest-first would
     select dozens of near-identical variants of the same route and
     understate the diversity end hosts actually choose from.
+
+    ``workers`` > 1 fans the per-pair work out over a thread pool; results
+    are assembled in pair order, so the outcome is identical.
     """
     network = world.network
     destinations = destinations or sources
-    values: List[float] = []
-    for src in sources:
-        for dst in destinations:
-            if src == dst:
-                continue
-            metas = network.active_paths(IA.parse(src), IA.parse(dst))
-            metas = _diverse_subset(metas, max_paths_per_pair)
-            for a, b in itertools.combinations(metas, 2):
-                values.append(a.disjointness(b))
+    pairs = _ordered_pairs(sources, destinations)
+
+    def one_pair(pair: Tuple[str, str]) -> List[float]:
+        src, dst = pair
+        metas = network.active_paths(IA.parse(src), IA.parse(dst))
+        metas = _diverse_subset(metas, max_paths_per_pair)
+        return [a.disjointness(b) for a, b in itertools.combinations(metas, 2)]
+
+    values: List[float] = [
+        value
+        for per_pair in fan_out(one_pair, pairs, workers)
+        for value in per_pair
+    ]
     if not values:
         raise ValueError("no path combinations found")
     array = np.asarray(values)

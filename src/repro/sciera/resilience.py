@@ -99,31 +99,36 @@ def fig10c_link_failure_sim(
     singlepath = np.zeros(steps)
     rng = random.Random(seed)
 
+    # Reverse index link -> single paths crossing it: removing a link kills
+    # exactly the pairs it serves, so the single-path count updates
+    # incrementally instead of rescanning every pair per step.
+    single_users: Dict[str, List[Tuple[str, str]]] = {}
+    for pair, edges in single.items():
+        for (_, _, key) in edges:
+            single_users.setdefault(key, []).append(pair)
+
     for _ in range(runs):
         order = edge_list[:]
         rng.shuffle(order)
-        removed = set()
+        alive = nx.MultiGraph()
+        alive.add_nodes_from(nodes)
+        for u, v, key in edge_list:
+            alive.add_edge(u, v, key=key)
+        pair_alive = dict.fromkeys(single, True)
+        single_connected = len(single)
         for step in range(steps):
             if step > 0:
-                removed.add(order[step - 1])
-            alive = nx.MultiGraph()
-            alive.add_nodes_from(nodes)
-            for edge in edge_list:
-                if edge not in removed:
-                    alive.add_edge(edge[0], edge[1], key=edge[2])
-            components = list(nx.connected_components(alive))
-            component_of = {}
-            for component in components:
-                for node in component:
-                    component_of[node] = id(component)
+                u, v, key = order[step - 1]
+                alive.remove_edge(u, v, key=key)
+                for pair in single_users.get(key, ()):
+                    if pair_alive[pair]:
+                        pair_alive[pair] = False
+                        single_connected -= 1
+            # Ordered pairs within one component: n * (n - 1) each.
             multi_connected = sum(
-                1 for a, b in all_pairs if component_of[a] == component_of[b]
+                len(component) * (len(component) - 1)
+                for component in nx.connected_components(alive)
             )
-            removed_names = {key for (_, _, key) in removed}
-            single_connected = 0
-            for pair, edges in single.items():
-                if all(key not in removed_names for (_, _, key) in edges):
-                    single_connected += 1
             multipath[step] += multi_connected / len(all_pairs)
             singlepath[step] += single_connected / len(all_pairs)
 

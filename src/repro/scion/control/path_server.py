@@ -29,9 +29,19 @@ class RegistryStats:
     lookups: int = 0
     cache_hits: int = 0
 
+    @property
+    def hit_rate(self) -> float:
+        """Cached fraction of lookups; always within [0, 1]."""
+        return self.cache_hits / self.lookups if self.lookups else 0.0
+
 
 class SegmentRegistry:
-    """Registration and lookup for down and core segments."""
+    """Registration and lookup for down and core segments.
+
+    Every registration bumps a mutation counter (``version``); local path
+    servers version their lookup caches against it so segments learned in
+    later beaconing rounds become visible without an explicit flush.
+    """
 
     def __init__(self) -> None:
         #: leaf AS -> down segments terminating there
@@ -39,6 +49,12 @@ class SegmentRegistry:
         #: (origin core, terminal core) -> core segments
         self._core: Dict[Tuple[IA, IA], Dict[str, Beacon]] = {}
         self.stats = RegistryStats()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped on every registration."""
+        return self._version
 
     # -- registration ---------------------------------------------------------
 
@@ -47,12 +63,14 @@ class SegmentRegistry:
         bucket = self._down.setdefault(leaf, {})
         bucket[segment.interface_fingerprint()] = segment
         self.stats.registrations += 1
+        self._version += 1
 
     def register_core(self, segment: Beacon) -> None:
         key = (segment.origin_ia, segment.terminal_ia)
         bucket = self._core.setdefault(key, {})
         bucket[segment.interface_fingerprint()] = segment
         self.stats.registrations += 1
+        self._version += 1
 
     # -- lookup -----------------------------------------------------------------
 
@@ -104,7 +122,16 @@ class LocalPathServer:
         self.core_rtt_s = core_rtt_s
         self.remote_isd_rtt_s = remote_isd_rtt_s
         self._up: Dict[str, Beacon] = {}
-        self._cache: Dict[IA, Tuple[List[Beacon], List[Beacon], List[Beacon]]] = {}
+        #: dst -> (snapshot version, up, core, down); entries whose snapshot
+        #: version trails the current state are stale and recomputed.
+        self._cache: Dict[
+            IA,
+            Tuple[
+                Tuple[int, int],
+                Tuple[Beacon, ...], Tuple[Beacon, ...], Tuple[Beacon, ...],
+            ],
+        ] = {}
+        self._up_version = 0
 
     def register_up(self, segment: Beacon) -> None:
         if segment.terminal_ia != self.ia:
@@ -112,6 +139,7 @@ class LocalPathServer:
                 f"up segment terminates at {segment.terminal_ia}, not {self.ia}"
             )
         self._up[segment.interface_fingerprint()] = segment
+        self._up_version += 1
 
     @property
     def up_segments(self) -> List[Beacon]:
@@ -120,16 +148,27 @@ class LocalPathServer:
     def invalidate_cache(self) -> None:
         self._cache.clear()
 
+    def _state_version(self) -> Tuple[int, int]:
+        """Version of everything a cached lookup depends on."""
+        return (self.registry.version, self._up_version)
+
     def segments_for(
         self, dst: IA
-    ) -> Tuple[List[Beacon], List[Beacon], List[Beacon], LookupTiming]:
+    ) -> Tuple[
+        Tuple[Beacon, ...], Tuple[Beacon, ...], Tuple[Beacon, ...], LookupTiming
+    ]:
         """(up, core, down) segments relevant for reaching ``dst``.
 
         Core segments returned are all segments touching any core this AS
         can reach upward; the combinator filters to usable combinations.
+        Results are immutable tuples (callers cannot corrupt the cache) and
+        cached entries are versioned against registry and up-segment
+        mutations, so later beaconing rounds stay visible.
         """
-        if dst in self._cache:
-            ups, cores, downs = self._cache[dst]
+        cached = self._cache.get(dst)
+        if cached is not None and cached[0] == self._state_version():
+            _, ups, cores, downs = cached
+            self.registry.stats.lookups += 1
             self.registry.stats.cache_hits += 1
             return ups, cores, downs, LookupTiming(0.0, 0, True)
 
@@ -150,7 +189,7 @@ class LocalPathServer:
         seen: Dict[str, Beacon] = {}
         for seg in cores:
             seen[seg.interface_fingerprint()] = seg
-        cores = list(seen.values())
 
-        self._cache[dst] = (ups, cores, downs)
-        return ups, cores, downs, LookupTiming(latency, round_trips, False)
+        result = (tuple(ups), tuple(seen.values()), tuple(downs))
+        self._cache[dst] = (self._state_version(),) + result
+        return result + (LookupTiming(latency, round_trips, False),)

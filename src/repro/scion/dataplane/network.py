@@ -178,7 +178,16 @@ class ScionDataplane:
 
     def path_latency_s(self, path: DataplanePath) -> float:
         """Static one-way latency estimate (links + processing), ignoring
-        link state and MACs — used for PathMeta latency estimates."""
+        link state and MACs — used for PathMeta latency estimates.
+
+        Mirrors the link selection of :meth:`walk`: at a peering boundary
+        (seg-last hop followed by a seg-first hop of a *different* AS) the
+        current record carries the peer hop field minted during beaconing,
+        whose oriented egress is the peering interface — so the peer-link
+        latency is charged, not the seg-last parent egress.  A link whose
+        far end is not the next AS on the path would make :meth:`walk`
+        fail with ``path-link-mismatch``, so its latency is not charged.
+        """
         total = 0.0
         records = path.forwarding_plan()
         for index, record in enumerate(records):
@@ -187,14 +196,17 @@ class ScionDataplane:
                 break
             next_record = records[index + 1]
             if next_record.hop.ia == record.hop.ia:
+                # Segment switch inside one AS (core joint, shortcut
+                # crossover): no link is crossed.
                 continue
             _, egress = oriented_interfaces(record.hop, record.info)
-            if record.is_seg_last and next_record.is_seg_first:
-                # Peering boundary: egress interface of the peer hop.
-                pass
             link = self.topology.link_between(record.hop.ia, egress)
-            if link is not None:
-                total += link.latency_s
+            if link is None:
+                continue
+            iface = self.topology.get(record.hop.ia).interfaces[egress]
+            if iface.remote_ia != next_record.hop.ia:
+                continue
+            total += link.latency_s
         return total
 
     # -- event-driven delivery -----------------------------------------------------

@@ -199,6 +199,16 @@ class TestPeering:
         ]
         assert ["71-100", "71-10", "71-1", "71-2", "71-20", "71-200"] in sequences
 
+    def test_latency_estimate_matches_probe_on_every_path(self, peering_network):
+        """The static estimate must charge the peer link at the peering
+        boundary — twice the one-way estimate is the probed RTT."""
+        a, b = IA.parse("71-100"), IA.parse("71-200")
+        for meta in peering_network.paths(a, b):
+            probe = peering_network.probe(meta)
+            assert probe.success
+            estimate = peering_network.dataplane.path_latency_s(meta.path)
+            assert 2 * estimate == pytest.approx(probe.rtt_s)
+
 
 class TestPathServer:
     def test_lookup_timing_and_cache(self, diamond_network):
@@ -211,6 +221,53 @@ class TestPathServer:
         _, _, _, timing2 = server.segments_for(B)
         assert timing2.cached
         assert timing2.latency_s == 0.0
+
+    def test_returns_immutable_tuples(self, fresh_diamond_network):
+        """Callers must not be able to corrupt the server's cache."""
+        server = fresh_diamond_network.services[A].path_server
+        ups, cores, downs, _ = server.segments_for(B)
+        assert isinstance(ups, tuple)
+        assert isinstance(cores, tuple)
+        assert isinstance(downs, tuple)
+        ups2, cores2, downs2, timing = server.segments_for(B)
+        assert timing.cached
+        assert (ups2, cores2, downs2) == (ups, cores, downs)
+
+    def test_cache_invalidated_by_later_registration(self, fresh_diamond_network):
+        """A segment registered after a cached lookup must become visible:
+        the cache is versioned against the registry mutation counter."""
+        server = fresh_diamond_network.services[A].path_server
+        _, _, downs, _ = server.segments_for(B)
+        _, _, _, timing = server.segments_for(B)
+        assert timing.cached
+        version_before = server.registry.version
+        server.registry.register_down(downs[0])
+        assert server.registry.version > version_before
+        _, _, downs2, timing2 = server.segments_for(B)
+        assert not timing2.cached          # stale entry recomputed
+        assert downs2 == downs             # re-registration deduplicates
+
+    def test_cache_invalidated_by_up_segment_registration(
+        self, fresh_diamond_network
+    ):
+        server = fresh_diamond_network.services[A].path_server
+        ups, _, _, _ = server.segments_for(B)
+        _, _, _, timing = server.segments_for(B)
+        assert timing.cached
+        server.register_up(ups[0])
+        _, _, _, timing2 = server.segments_for(B)
+        assert not timing2.cached
+
+    def test_stats_stay_consistent_on_cache_hits(self, fresh_diamond_network):
+        """A cached hit counts as a lookup too, so hit_rate <= 1."""
+        server = fresh_diamond_network.services[A].path_server
+        stats = server.registry.stats
+        server.segments_for(B)
+        lookups, hits = stats.lookups, stats.cache_hits
+        server.segments_for(B)
+        assert stats.lookups == lookups + 1
+        assert stats.cache_hits == hits + 1
+        assert 0.0 <= stats.hit_rate <= 1.0
 
     def test_remote_isd_lookup_costs_more(self):
         from repro.scion.topology import GlobalTopology, LinkType
