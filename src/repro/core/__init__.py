@@ -17,6 +17,7 @@ from repro.core.monitoring import ConnectivityMonitor, Alert
 from repro.core.survey import OPERATOR_SURVEY, SurveyAnalysis
 from repro.core.policy import ScieraTransitPolicy
 from repro.core.isd_evolution import IsdSplitPlan, plan_regional_isds
+from repro.core.retry import RetryError, RetryOutcome, RetryPolicy, RetrySchedule
 
 __all__ = [
     "DEPLOYMENT_TIMELINE",
@@ -32,4 +33,8 @@ __all__ = [
     "ScieraTransitPolicy",
     "IsdSplitPlan",
     "plan_regional_isds",
+    "RetryError",
+    "RetryOutcome",
+    "RetryPolicy",
+    "RetrySchedule",
 ]

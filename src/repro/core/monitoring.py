@@ -28,7 +28,14 @@ class Alert:
 
 
 class ConnectivityMonitor:
-    """Probes every monitored AS pair on a fixed cadence."""
+    """Probes every monitored AS pair on a fixed cadence.
+
+    ``flap_damping_rounds`` is the number of *consecutive* failed probe
+    rounds required before a ``connectivity-lost`` alert fires.  The
+    default of 1 preserves immediate alerting; under chaos-style probe
+    loss, operators raise it so a single lossy round does not page anyone.
+    Restores are never damped — good news is always delivered at once.
+    """
 
     def __init__(
         self,
@@ -37,36 +44,61 @@ class ConnectivityMonitor:
         targets: Sequence[IA],
         probe_interval_s: float = 60.0,
         operator_emails: Optional[Dict[str, str]] = None,
+        flap_damping_rounds: int = 1,
     ):
         if probe_interval_s <= 0:
             raise ValueError("probe interval must be positive")
+        if flap_damping_rounds < 1:
+            raise ValueError("flap_damping_rounds must be >= 1")
         self.network = network
         self.vantage = vantage
         self.targets = [ia for ia in targets if ia != vantage]
         self.probe_interval_s = probe_interval_s
         self.operator_emails = operator_emails or {}
+        self.flap_damping_rounds = flap_damping_rounds
         self.alerts: List[Alert] = []
         self.probes_sent = 0
         self._down: Set[IA] = set()
+        self._fail_streak: Dict[IA, int] = {}
         self._subscribers: List[Callable[[Alert], None]] = []
+        self._timer = None
+        self._stopped = False
 
     def subscribe(self, handler: Callable[[Alert], None]) -> None:
         self._subscribers.append(handler)
 
     def start(self, sim: Simulator) -> None:
-        sim.schedule(0.0, self._probe_round, sim)
+        self._stopped = False
+        self._timer = sim.schedule(0.0, self._probe_round, sim)
+
+    def stop(self) -> None:
+        """Tear down the self-rescheduling probe loop."""
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
 
     def _probe_round(self, sim: Simulator) -> None:
+        if self._stopped:
+            return
         for target in self.targets:
             self.probes_sent += 1
             reachable = bool(self.network.active_paths(self.vantage, target))
-            if not reachable and target not in self._down:
-                self._down.add(target)
-                self._emit(sim.now, "connectivity-lost", target)
-            elif reachable and target in self._down:
-                self._down.remove(target)
-                self._emit(sim.now, "connectivity-restored", target)
-        sim.schedule(self.probe_interval_s, self._probe_round, sim)
+            if not reachable:
+                streak = self._fail_streak.get(target, 0) + 1
+                self._fail_streak[target] = streak
+                if (
+                    streak >= self.flap_damping_rounds
+                    and target not in self._down
+                ):
+                    self._down.add(target)
+                    self._emit(sim.now, "connectivity-lost", target)
+            else:
+                self._fail_streak[target] = 0
+                if target in self._down:
+                    self._down.remove(target)
+                    self._emit(sim.now, "connectivity-restored", target)
+        self._timer = sim.schedule(self.probe_interval_s, self._probe_round, sim)
 
     def _emit(self, now: float, kind: str, target: IA) -> None:
         email = self.operator_emails.get(

@@ -13,6 +13,7 @@ from repro.endhost.bootstrap.bootstrapper import (
     Bootstrapper,
     BootstrapError,
     BootstrapResult,
+    TransientBootstrapError,
 )
 from repro.endhost.bootstrap.timing import OsTimingModel, OS_MODELS
 
@@ -28,6 +29,7 @@ __all__ = [
     "Bootstrapper",
     "BootstrapError",
     "BootstrapResult",
+    "TransientBootstrapError",
     "OsTimingModel",
     "OS_MODELS",
 ]

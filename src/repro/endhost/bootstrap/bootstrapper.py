@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.retry import RetryPolicy
 from repro.endhost.bootstrap.hinting import (
     Hint,
     HintMechanism,
@@ -29,6 +30,21 @@ from repro.scion.dataplane.underlay import IntraAsNetwork
 
 class BootstrapError(Exception):
     """Raised when no mechanism yields a hint or validation fails."""
+
+
+class TransientBootstrapError(BootstrapError):
+    """A retry-worthy failure: server outage or transport trouble.
+
+    Validation failures (bad signatures, broken TRC chains) stay plain
+    :class:`BootstrapError` — retrying a forgery is pointless; an
+    unreachable or refusing server is worth another attempt or a fallback
+    to a different server.  ``cost_s`` carries the simulated time the
+    failed attempt burned, so retry accounting stays honest.
+    """
+
+    def __init__(self, message: str, cost_s: float = 0.0):
+        super().__init__(message)
+        self.cost_s = cost_s
 
 
 #: Default order: cheap DNS lookups first, then DHCP, then multicast.
@@ -46,7 +62,13 @@ DEFAULT_PREFERENCE: Tuple[HintMechanism, ...] = (
 
 @dataclass(frozen=True)
 class BootstrapResult:
-    """A completed bootstrap: configuration plus where the time went."""
+    """A completed bootstrap: configuration plus where the time went.
+
+    ``hint_latency_s`` / ``config_latency_s`` include the time burnt by
+    *failed* attempts, and ``retry_wait_s`` the backoff between attempts,
+    so ``total_latency_s`` is the true wall-clock from the first probe to a
+    validated configuration.
+    """
 
     topology: TopologyDocument
     trcs: Tuple[Trc, ...]
@@ -54,10 +76,13 @@ class BootstrapResult:
     hint_latency_s: float
     config_latency_s: float
     mechanisms_tried: int
+    attempts: int = 1
+    retry_wait_s: float = 0.0
+    servers_failed: Tuple[str, ...] = ()
 
     @property
     def total_latency_s(self) -> float:
-        return self.hint_latency_s + self.config_latency_s
+        return self.hint_latency_s + self.config_latency_s + self.retry_wait_s
 
 
 class Bootstrapper:
@@ -74,6 +99,7 @@ class Bootstrapper:
         rng: Optional[random.Random] = None,
         now: float = 0.0,
         pinned_trcs: Optional[Sequence[Trc]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if os_name not in OS_MODELS:
             raise BootstrapError(
@@ -88,23 +114,42 @@ class Bootstrapper:
         self.rng = rng or random.Random(0xB007)
         self.now = now
         self.pinned_trcs = list(pinned_trcs or [])
+        #: None = fail fast on the first error (the pre-chaos behaviour)
+        self.retry_policy = retry_policy
 
     # -- step 1: hint discovery ---------------------------------------------------
 
-    def discover_hint(self) -> Tuple[Hint, float, int]:
+    def discover_hint(
+        self, exclude_servers: Optional[Set[Tuple[str, int]]] = None
+    ) -> Tuple[Hint, float, int]:
         """Try mechanisms in preference order; return (hint, latency, tries).
 
         Each unavailable mechanism still costs a (short) probe timeout —
         this is why the preference order matters for the Figure 4 numbers.
+        ``exclude_servers`` skips hints pointing at servers that already
+        failed this bootstrap, so retries fall back to the *next* server
+        instead of hammering the dead one.
         """
+        exclude = exclude_servers or set()
         elapsed = 0.0
         tried = 0
+        skipped = 0
         for mechanism in self.preference:
             tried += 1
             elapsed += self.timing.sample_hint_s(mechanism, self.rng)
             hint = self.environment.query(mechanism)
-            if hint is not None:
-                return hint, elapsed, tried
+            if hint is None:
+                continue
+            if (hint.server_ip, hint.server_port) in exclude:
+                skipped += 1
+                continue
+            return hint, elapsed, tried
+        if skipped:
+            raise TransientBootstrapError(
+                f"all {skipped} discovered hints point at failed bootstrap "
+                f"servers ({tried} mechanisms tried)",
+                cost_s=elapsed,
+            )
         raise BootstrapError(
             f"no bootstrapping hint found after trying {tried} mechanisms"
         )
@@ -114,7 +159,7 @@ class Bootstrapper:
     def fetch_config(self, hint: Hint) -> Tuple[TopologyDocument, List[Trc], float]:
         server = self.servers.get((hint.server_ip, hint.server_port))
         if server is None:
-            raise BootstrapError(
+            raise TransientBootstrapError(
                 f"hint points at {hint.server_ip}:{hint.server_port} "
                 "but no bootstrap server answers there"
             )
@@ -123,8 +168,17 @@ class Bootstrapper:
             rtt = 2 * self.underlay.latency_s(self.client_ip, server.ip)
         latency = self.timing.sample_http_s(rtt, self.rng)
         latency += server.processing_s
-        document = server.get_topology()
-        trcs = server.get_trcs()
+        try:
+            document = server.get_topology()
+            trcs = server.get_trcs()
+        except Exception as exc:
+            # Server-side refusals and injected outages are transport
+            # failures: the time was spent even though nothing came back.
+            raise TransientBootstrapError(
+                f"bootstrap server {hint.server_ip}:{hint.server_port} "
+                f"failed: {exc}",
+                cost_s=latency,
+            ) from exc
         self._validate(document, trcs)
         return document, trcs, latency
 
@@ -180,13 +234,64 @@ class Bootstrapper:
     # -- the whole pipeline ----------------------------------------------------------
 
     def bootstrap(self) -> BootstrapResult:
-        hint, hint_latency, tried = self.discover_hint()
-        document, trcs, config_latency = self.fetch_config(hint)
-        return BootstrapResult(
-            topology=document,
-            trcs=tuple(trcs),
-            mechanism=hint.mechanism,
-            hint_latency_s=hint_latency,
-            config_latency_s=config_latency,
-            mechanisms_tried=tried,
-        )
+        """Run hint→fetch→validate, retrying transient failures.
+
+        Without a :class:`RetryPolicy` this is the classic single-shot
+        pipeline.  With one, each transient failure (server outage, dead
+        hint) excludes the failing server, backs off per the policy, and
+        re-runs discovery — falling back to the next hint/server when the
+        network advertises several.  All time spent (failed probes, failed
+        fetches, backoff waits) lands in the result's latency fields.
+        """
+        schedule = self.retry_policy.schedule() if self.retry_policy else None
+        failed_servers: Set[Tuple[str, int]] = set()
+        hint_total = 0.0
+        config_total = 0.0
+        wait_total = 0.0
+        tried_total = 0
+        attempts = 0
+        while True:
+            attempts += 1
+            hint: Optional[Hint] = None
+            try:
+                hint, hint_latency, tried = self.discover_hint(
+                    exclude_servers=failed_servers
+                )
+                hint_total += hint_latency
+                tried_total += tried
+                document, trcs, config_latency = self.fetch_config(hint)
+                config_total += config_latency
+                return BootstrapResult(
+                    topology=document,
+                    trcs=tuple(trcs),
+                    mechanism=hint.mechanism,
+                    hint_latency_s=hint_total,
+                    config_latency_s=config_total,
+                    mechanisms_tried=tried_total,
+                    attempts=attempts,
+                    retry_wait_s=wait_total,
+                    servers_failed=tuple(
+                        sorted(f"{ip}:{port}" for ip, port in failed_servers)
+                    ),
+                )
+            except TransientBootstrapError as exc:
+                if hint is None:
+                    # Discovery itself failed: every known hint points at a
+                    # failed server. Wipe the exclusions so the next attempt
+                    # (after backoff) re-tries servers that may have healed.
+                    hint_total += exc.cost_s
+                    tried_total += len(self.preference)
+                    failed_servers.clear()
+                else:
+                    config_total += exc.cost_s
+                    failed_servers.add((hint.server_ip, hint.server_port))
+                if schedule is None:
+                    raise
+                schedule.charge(self.retry_policy.clamp_cost(exc.cost_s))
+                backoff = schedule.next_backoff_s()
+                if backoff is None:
+                    raise TransientBootstrapError(
+                        f"bootstrap gave up after {attempts} attempts: {exc}",
+                        cost_s=exc.cost_s,
+                    ) from exc
+                wait_total += backoff

@@ -7,12 +7,25 @@ maintaining local databases for SCION's public-key infrastructure"
 (paper Section 2). One daemon serves all applications on a host, giving
 them shared caching and consolidated control-plane interactions — the
 benefit the bootstrapper-dependent and standalone library modes trade away.
+
+Resilience semantics (the deployment lessons of Section 5.4):
+
+* failed or empty lookups are **never cached** — a destination that was
+  transiently unreachable is re-queried on the next lookup instead of
+  serving a cached empty answer for a full TTL;
+* when a refresh fails but an expired entry exists, the daemon serves the
+  old paths **marked stale** (``PathMeta.stale``) rather than nothing —
+  applications keep working through control-plane hiccups;
+* SCMP "interface down" reports **expire on a TTL**, so a single stray
+  report cannot suppress a path forever if the periodic re-probe that
+  calls :meth:`clear_interface_state` is itself disrupted.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.scion.addr import IA
 from repro.scion.control.service import TrustStore
@@ -24,10 +37,34 @@ from repro.scion.scmp import ScmpMessage, ScmpType
 
 @dataclass
 class DaemonStats:
+    """Lookup accounting. The invariant:
+    ``lookups == cache_hits + fetches`` and ``stale_served <= failed_fetches``.
+
+    lookups:
+        Total :meth:`Daemon.lookup` calls.
+    cache_hits:
+        Lookups answered from a cache entry still within its TTL.
+    fetches:
+        Lookups that went to the control plane (no entry, or entry expired).
+    refreshes:
+        Subset of ``fetches`` that *successfully replaced* an existing
+        (expired) cache entry.  First-time fetches are not refreshes, and
+        neither are failed refetches.
+    failed_fetches:
+        Fetches that raised or returned no paths; never cached.
+    stale_served:
+        Failed refreshes answered with the expired entry, marked stale.
+    scmp_interface_down:
+        SCMP external-interface-down reports accepted.
+    """
+
     lookups: int = 0
     cache_hits: int = 0
-    scmp_interface_down: int = 0
+    fetches: int = 0
     refreshes: int = 0
+    failed_fetches: int = 0
+    stale_served: int = 0
+    scmp_interface_down: int = 0
 
 
 class Daemon:
@@ -38,36 +75,56 @@ class Daemon:
         network: ScionNetwork,
         ia: IA,
         cache_ttl_s: float = 300.0,
+        down_interface_ttl_s: float = 60.0,
+        fetch: Optional[Callable[[IA], List[PathMeta]]] = None,
     ):
         self.network = network
         self.ia = ia
         self.cache_ttl_s = cache_ttl_s
+        self.down_interface_ttl_s = down_interface_ttl_s
         self.stats = DaemonStats()
         self.trust_store = TrustStore()
         for isd in network.topology.isds():
             self.trust_store.add_trc(network.trc_for(isd))
+        #: control-plane fetch, overridable for fault injection
+        self._fetch = fetch or (lambda dst: self.network.paths(self.ia, dst))
         #: dst -> (fetch time, paths)
         self._cache: Dict[IA, Tuple[float, List[PathMeta]]] = {}
-        #: interfaces recently reported down via SCMP
-        self._down_interfaces: Set[str] = set()
+        #: interface id -> time at which the down-report expires
+        self._down_interfaces: Dict[str, float] = {}
 
     def lookup(self, dst: IA, now: float = 0.0) -> List[PathMeta]:
         """Paths to ``dst``, served from cache within the TTL.
 
         Paths containing interfaces reported down via SCMP are filtered out
-        until the next refresh — this is the "switching paths instantly"
-        behaviour of Section 4.7.
+        until the report expires or the next re-probe — this is the
+        "switching paths instantly" behaviour of Section 4.7.  A failed
+        refresh serves the previous (expired) paths marked ``stale``.
         """
         self.stats.lookups += 1
+        self._expire_down_interfaces(now)
         cached = self._cache.get(dst)
         if cached is not None and now - cached[0] < self.cache_ttl_s:
             self.stats.cache_hits += 1
             paths = cached[1]
         else:
-            paths = self.network.paths(self.ia, dst)
-            self._cache[dst] = (now, paths)
-            if cached is not None:
-                self.stats.refreshes += 1
+            self.stats.fetches += 1
+            try:
+                paths = self._fetch(dst)
+            except Exception:
+                paths = []
+            if paths:
+                if cached is not None:
+                    self.stats.refreshes += 1
+                self._cache[dst] = (now, paths)
+            else:
+                self.stats.failed_fetches += 1
+                if cached is not None:
+                    self.stats.stale_served += 1
+                    paths = [
+                        dataclasses.replace(meta, stale=True)
+                        for meta in cached[1]
+                    ]
         if not self._down_interfaces:
             return list(paths)
         return [
@@ -75,11 +132,20 @@ class Daemon:
             if not any(ifid in self._down_interfaces for ifid in meta.interfaces)
         ]
 
-    def handle_scmp(self, message: ScmpMessage) -> None:
+    def handle_scmp(self, message: ScmpMessage, now: float = 0.0) -> None:
         """React to SCMP errors from routers (external interface down)."""
         if message.scmp_type is ScmpType.EXTERNAL_INTERFACE_DOWN:
             self.stats.scmp_interface_down += 1
-            self._down_interfaces.add(f"{message.origin_ia}#{message.info}")
+            self._down_interfaces[f"{message.origin_ia}#{message.info}"] = (
+                now + self.down_interface_ttl_s
+            )
+
+    def _expire_down_interfaces(self, now: float) -> None:
+        expired = [
+            ifid for ifid, until in self._down_interfaces.items() if until <= now
+        ]
+        for ifid in expired:
+            del self._down_interfaces[ifid]
 
     def clear_interface_state(self) -> None:
         """Forget down-interface reports (periodic re-probe succeeded)."""
@@ -91,6 +157,10 @@ class Daemon:
     @property
     def cached_destinations(self) -> List[IA]:
         return sorted(self._cache)
+
+    @property
+    def down_interfaces(self) -> List[str]:
+        return sorted(self._down_interfaces)
 
     def trcs(self, isd: int) -> List[Trc]:
         return self.trust_store.chain(isd)

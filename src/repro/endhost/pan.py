@@ -31,6 +31,7 @@ from repro.scion.dataplane.underlay import IntraAsNetwork
 from repro.scion.network import ScionNetwork
 from repro.scion.packet import ScionPacket, UnderlayFrame
 from repro.scion.path import PathMeta
+from repro.scion.scmp import interface_down
 
 
 class PanError(Exception):
@@ -259,18 +260,35 @@ class ScionSocket:
         ``max_attempts`` defaults high: after a regional outage the
         surviving paths can rank far down the latency ordering (they are
         the around-the-globe ones), and giving up early would defeat the
-        multipath story."""
+        multipath story.
+
+        Failover is SCMP-triggered and instant (Section 4.7): a link-down
+        probe failure feeds the router's interface-down report to the
+        host's daemon, and every queued candidate crossing that interface
+        is skipped *before any re-lookup* — the next send goes straight to
+        the first cached path that avoids the dead interface."""
         if dst.ia == self.host.ia:
             return self._deliver_local(dst, payload, now)
-        candidates = (policy or self.context.default_policy).order(
+        queue = (policy or self.context.default_policy).order(
             self.context.paths(dst.ia, now)
         )
         last = SendResult(False, failure="no-paths")
-        for attempt, meta in enumerate(candidates[:max_attempts], start=1):
-            result = self._send_via(dst, payload, meta, now, paths_tried=attempt)
+        attempt = 0
+        while queue and attempt < max_attempts:
+            meta = queue.pop(0)
+            attempt += 1
+            result = self._send_via(
+                dst, payload, meta, now, paths_tried=attempt, report_scmp=True
+            )
             if result.success:
                 return result
             last = result
+            daemon = self.host.daemon
+            if daemon is not None and daemon.down_interfaces:
+                down = set(daemon.down_interfaces)
+                queue = [
+                    m for m in queue if not down.intersection(m.interfaces)
+                ]
         return last
 
     def _send_via(
@@ -280,11 +298,14 @@ class ScionSocket:
         meta: PathMeta,
         now: float,
         paths_tried: int,
+        report_scmp: bool = False,
     ) -> SendResult:
         network = self.host.network
         probe = network.dataplane.probe(meta.path, now or network.timestamp)
         self.sent_packets += 1
         if not probe.success:
+            if report_scmp:
+                self._report_probe_failure(probe, now)
             return SendResult(
                 False, failure=probe.failure, path=meta, paths_tried=paths_tried
             )
@@ -312,6 +333,25 @@ class ScionSocket:
             reply=reply,
             paths_tried=paths_tried,
         )
+
+    def _report_probe_failure(self, probe, now: float) -> None:
+        """Feed a router's SCMP interface-down error to the local daemon.
+
+        In the real stack the router on the failing path emits the SCMP
+        error back to the source host; here the probe result carries the
+        same (origin AS, egress interface) pair.
+        """
+        daemon = self.host.daemon
+        if (
+            daemon is not None
+            and probe.failure == "link-down"
+            and probe.failed_at is not None
+            and probe.failed_ifid is not None
+        ):
+            daemon.handle_scmp(
+                interface_down(str(probe.failed_at), probe.failed_ifid),
+                now=now,
+            )
 
     def _deliver_local(self, dst: HostAddr, payload: bytes, now: float) -> SendResult:
         dst_host = self.host.registry.lookup(dst.ia, dst.host)

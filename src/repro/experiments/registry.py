@@ -55,6 +55,8 @@ EXPERIMENTS: Dict[str, Tuple[str, str]] = {
     "sec56": ("repro.experiments.sec56_survey", "Operator survey"),
     "dispatcher": ("repro.experiments.ablation_dispatcher",
                    "Dispatcher vs dispatcherless ablation (Section 4.8)"),
+    "chaos": ("repro.experiments.chaos_resilience",
+              "Resilience under injected faults (Sections 4.7/5.4)"),
 }
 
 

@@ -10,6 +10,14 @@ from repro.netsim.simulator import Simulator, Timer
 from repro.netsim.geo import GeoPoint, haversine_km, propagation_delay_s
 from repro.netsim.link import Link, LinkStats
 from repro.netsim.failures import LinkEvent, FailureSchedule, MaintenanceWindow
+from repro.netsim.chaos import (
+    ChaosError,
+    FaultEvent,
+    FaultInjector,
+    FaultProfile,
+    FaultyServer,
+    ServerOutage,
+)
 from repro.netsim.ip import IpInternet
 
 __all__ = [
@@ -23,5 +31,11 @@ __all__ = [
     "LinkEvent",
     "FailureSchedule",
     "MaintenanceWindow",
+    "ChaosError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultyServer",
+    "ServerOutage",
     "IpInternet",
 ]

@@ -1,0 +1,297 @@
+"""Chaos layer: seeded probabilistic fault injection.
+
+The paper's measurement campaign overlapped with a KREONET outage, BRIDGES
+instabilities, and two maintenance windows (Section 5.4) — and SCIONLab
+measurement studies show path churn and probe loss are *continuous*, not
+scheduled.  :class:`repro.netsim.failures.FailureSchedule` models the
+scheduled part; this module adds the continuous part: a seeded
+:class:`FaultInjector` that wraps links, dataplane probes, and bootstrap
+servers with probabilistic faults (loss, latency spikes, duplication,
+corruption, server outages) driven by per-target :class:`FaultProfile`\\ s.
+
+Every injected fault is recorded as a structured :class:`FaultEvent`, so
+experiments can assert on the exact fault stream — two runs with the same
+seed produce identical streams.  The layer is strictly opt-in: nothing in
+the simulator or the SCION stack changes behaviour unless a target is
+explicitly wrapped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.netsim.failures import FailureSchedule, LinkEvent
+from repro.netsim.link import Link
+
+
+class ChaosError(Exception):
+    """Raised for invalid chaos configuration."""
+
+
+class ServerOutage(Exception):
+    """A wrapped server refused a request (injected outage).
+
+    ``transient`` marks this as a retry-worthy transport failure for
+    clients that distinguish transient from permanent errors.
+    """
+
+    transient = True
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-target fault probabilities (all independent, per operation).
+
+    ``loss``/``latency_spike``/``duplicate``/``corrupt`` apply to link
+    frames and path probes; ``outage`` applies to wrapped servers
+    (probability a request is refused).  ``latency_spike_s`` is the extra
+    one-way delay added when a spike fires.
+    """
+
+    loss: float = 0.0
+    latency_spike: float = 0.0
+    latency_spike_s: float = 0.050
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    outage: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "latency_spike", "duplicate", "corrupt", "outage"):
+            value = getattr(self, name)
+            if not (0.0 <= value < 1.0):
+                raise ChaosError(f"{name} must be in [0, 1), got {value}")
+        if self.latency_spike_s < 0:
+            raise ChaosError("latency_spike_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected (or observed) fault, for the observability stream."""
+
+    time_s: float
+    target: str
+    kind: str      # "loss" | "latency-spike" | "duplicate" | "corrupt"
+    #                | "server-outage" | "link-down" | "link-up"
+    detail: str = ""
+
+
+class FaultInjector:
+    """Composes probabilistic faults onto links, probes, and servers.
+
+    All randomness flows through one seeded RNG, so the order of wrapped
+    operations fully determines the fault stream.  The injector also
+    subscribes to a :class:`FailureSchedule` (via :meth:`observe_schedule`)
+    so scheduled link flips appear in the same event stream as the
+    probabilistic faults.
+    """
+
+    def __init__(self, seed: int = 0xC4A05):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.events: List[FaultEvent] = []
+
+    # -- observability ---------------------------------------------------------
+
+    def record(self, time_s: float, target: str, kind: str, detail: str = "") -> None:
+        self.events.append(FaultEvent(time_s, target, kind, detail))
+
+    def event_digest(self) -> str:
+        """Stable digest of the fault stream (determinism checks)."""
+        payload = "\n".join(
+            f"{e.time_s:.9f}|{e.target}|{e.kind}|{e.detail}" for e in self.events
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def observe_schedule(self, schedule: FailureSchedule) -> None:
+        """Mirror a failure schedule's link flips into the fault stream."""
+
+        def observer(event: LinkEvent) -> None:
+            self.record(
+                event.time_s,
+                event.link_name,
+                "link-up" if event.up else "link-down",
+                event.reason,
+            )
+
+        schedule.subscribe(observer)
+
+    # -- link faults -----------------------------------------------------------
+
+    def wrap_link(
+        self, link: Link, profile: FaultProfile
+    ) -> Callable[[], None]:
+        """Wrap ``link.transmit`` in place with probabilistic faults.
+
+        Loss and corruption drop the frame (corruption models a frame that
+        fails its MAC/CRC at the receiver); a latency spike inflates this
+        frame's propagation delay; duplication delivers the frame twice.
+        Returns a zero-arg function that removes the wrapper again.
+        """
+        original = link.transmit
+
+        def chaotic_transmit(sim, sender, size_bytes, deliver, drop=None):
+            roll = self.rng.random
+            if profile.loss and roll() < profile.loss:
+                self.record(sim.now, link.name, "loss")
+                link.stats.frames_dropped_loss += 1
+                if drop:
+                    drop("chaos-loss")
+                return
+            if profile.corrupt and roll() < profile.corrupt:
+                self.record(sim.now, link.name, "corrupt")
+                link.stats.frames_dropped_loss += 1
+                if drop:
+                    drop("chaos-corrupt")
+                return
+            spike = 0.0
+            if profile.latency_spike and roll() < profile.latency_spike:
+                spike = profile.latency_spike_s
+                self.record(sim.now, link.name, "latency-spike", f"+{spike:.3f}s")
+            copies = 1
+            if profile.duplicate and roll() < profile.duplicate:
+                copies = 2
+                self.record(sim.now, link.name, "duplicate")
+            base_latency = link.latency_s
+            try:
+                link.latency_s = base_latency + spike
+                for _ in range(copies):
+                    original(sim, sender, size_bytes, deliver, drop)
+            finally:
+                link.latency_s = base_latency
+
+        link.transmit = chaotic_transmit  # type: ignore[method-assign]
+
+        def restore() -> None:
+            link.transmit = original  # type: ignore[method-assign]
+
+        return restore
+
+    # -- probe faults ----------------------------------------------------------
+
+    def probe_filter(
+        self, profile: FaultProfile, target: str
+    ) -> Callable[[Any, float], Any]:
+        """A filter for analytic path probes (duck-typed ``ProbeResult``).
+
+        Given a probe result and the probe time, returns the result after
+        chaos: lost or corrupted probes become failures, latency spikes
+        inflate the measured delay, duplicates are recorded but do not
+        change the outcome (the extra copy is discarded by the receiver).
+        """
+
+        def apply(result: Any, now: float) -> Any:
+            if not result.success:
+                return result
+            roll = self.rng.random
+            if profile.loss and roll() < profile.loss:
+                self.record(now, target, "loss")
+                return dataclasses.replace(
+                    result, success=False, rtt_s=0.0, one_way_s=0.0,
+                    failure="chaos-loss",
+                )
+            if profile.corrupt and roll() < profile.corrupt:
+                self.record(now, target, "corrupt")
+                return dataclasses.replace(
+                    result, success=False, rtt_s=0.0, one_way_s=0.0,
+                    failure="chaos-corrupt",
+                )
+            if profile.latency_spike and roll() < profile.latency_spike:
+                spike = profile.latency_spike_s
+                self.record(now, target, "latency-spike", f"+{spike:.3f}s")
+                result = dataclasses.replace(
+                    result,
+                    rtt_s=result.rtt_s + 2 * spike,
+                    one_way_s=result.one_way_s + spike,
+                )
+            if profile.duplicate and roll() < profile.duplicate:
+                self.record(now, target, "duplicate")
+            return result
+
+        return apply
+
+    def wrap_dataplane(self, dataplane: Any, profile: FaultProfile,
+                       target: str = "dataplane") -> Callable[[], None]:
+        """Wrap a dataplane's ``probe`` in place (end-to-end path chaos).
+
+        Returns a zero-arg function that removes the wrapper again.
+        """
+        original = dataplane.probe
+        apply = self.probe_filter(profile, target)
+
+        def chaotic_probe(path, now):
+            return apply(original(path, now), now)
+
+        dataplane.probe = chaotic_probe  # type: ignore[method-assign]
+
+        def restore() -> None:
+            dataplane.probe = original  # type: ignore[method-assign]
+
+        return restore
+
+    # -- server faults ---------------------------------------------------------
+
+    def wrap_server(self, server: Any, profile: FaultProfile,
+                    name: str = "") -> "FaultyServer":
+        """A proxy around a bootstrap-style server with injected outages."""
+        return FaultyServer(server, profile, self, name or getattr(server, "ip", "server"))
+
+
+class FaultyServer:
+    """Proxy for a :class:`BootstrapServer`-shaped object under chaos.
+
+    Requests (``get_topology`` / ``get_trcs``) fail with
+    :class:`ServerOutage` while the server is marked down or, per request,
+    with the profile's ``outage`` probability.  Everything else delegates
+    to the wrapped server, so the proxy can be registered in a
+    bootstrapper's server map in place of the original.
+    """
+
+    def __init__(self, server: Any, profile: FaultProfile,
+                 injector: FaultInjector, name: str):
+        self._server = server
+        self.profile = profile
+        self.injector = injector
+        self.name = name
+        self.down = False
+        self.refused_requests = 0
+
+    # The attributes the bootstrapper reads off a server.
+    @property
+    def ip(self) -> str:
+        return self._server.ip
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def processing_s(self) -> float:
+        return self._server.processing_s
+
+    def set_down(self, down: bool, now: float = 0.0) -> None:
+        """Hard outage toggle (composes with scheduled maintenance)."""
+        self.down = down
+        self.injector.record(
+            now, self.name, "server-outage" if down else "server-recovery"
+        )
+
+    def _gate(self, now: float = 0.0) -> None:
+        if self.down:
+            self.refused_requests += 1
+            raise ServerOutage(f"bootstrap server {self.name} is down")
+        if self.profile.outage and self.injector.rng.random() < self.profile.outage:
+            self.refused_requests += 1
+            self.injector.record(now, self.name, "server-outage", "per-request")
+            raise ServerOutage(f"bootstrap server {self.name} refused the request")
+
+    def get_topology(self):
+        self._gate()
+        return self._server.get_topology()
+
+    def get_trcs(self):
+        self._gate()
+        return self._server.get_trcs()

@@ -52,6 +52,9 @@ class ProbeResult:
     one_way_s: float = 0.0
     failure: str = ""
     failed_at: Optional[IA] = None
+    #: egress interface id at ``failed_at`` for link-down failures — what a
+    #: router would put in its SCMP external-interface-down error.
+    failed_ifid: Optional[int] = None
 
     def __bool__(self) -> bool:
         return self.success
@@ -114,7 +117,8 @@ class ScionDataplane:
                 )
             if not link.up:
                 return ProbeResult(
-                    False, failure="link-down", failed_at=record.hop.ia
+                    False, failure="link-down", failed_at=record.hop.ia,
+                    failed_ifid=decision.egress_ifid,
                 )
             iface = self.topology.get(record.hop.ia).interfaces[decision.egress_ifid]
             if next_record is None or next_record.hop.ia != iface.remote_ia:

@@ -198,6 +198,9 @@ class PathMeta:
     latency_estimate_s: float
     carbon_gco2_per_gb: float = 0.0
     measured_rtt_s: Optional[float] = None
+    #: True when the daemon served this past its cache TTL because the
+    #: refresh failed — usable, but the application should expect churn.
+    stale: bool = False
 
     @property
     def fingerprint(self) -> str:

@@ -25,6 +25,15 @@ class ScmpType(enum.Enum):
 _HEADER = struct.Struct("!BBHHQ")  # type, code, identifier, sequence, info
 
 
+class ScmpDecodeError(ValueError):
+    """Raised for truncated or garbage SCMP wire data.
+
+    Corruption faults (chaos layer) can hand the decoder arbitrary bytes;
+    silently truncating ``origin_ia`` would turn a corrupted error message
+    into a *valid-looking* one for the wrong AS.
+    """
+
+
 @dataclass(frozen=True)
 class ScmpMessage:
     """An SCMP message; ``info`` carries type-specific data.
@@ -53,12 +62,29 @@ class ScmpMessage:
 
     @classmethod
     def decode(cls, raw: bytes) -> "ScmpMessage":
+        if len(raw) < _HEADER.size + 1:
+            raise ScmpDecodeError(
+                f"SCMP message truncated: {len(raw)} bytes, "
+                f"need at least {_HEADER.size + 1}"
+            )
         type_value, code, identifier, sequence, info = _HEADER.unpack_from(raw, 0)
         offset = _HEADER.size
         (origin_len,) = struct.unpack_from("!B", raw, offset)
         offset += 1
-        origin = raw[offset:offset + origin_len].decode()
-        return cls(ScmpType(type_value), code, identifier, sequence, info, origin)
+        if len(raw) != offset + origin_len:
+            raise ScmpDecodeError(
+                f"SCMP origin truncated or padded: header says {origin_len} "
+                f"bytes, {len(raw) - offset} present"
+            )
+        try:
+            origin = raw[offset:offset + origin_len].decode()
+        except UnicodeDecodeError as exc:
+            raise ScmpDecodeError(f"SCMP origin is not valid UTF-8: {exc}") from exc
+        try:
+            scmp_type = ScmpType(type_value)
+        except ValueError as exc:
+            raise ScmpDecodeError(f"unknown SCMP type {type_value}") from exc
+        return cls(scmp_type, code, identifier, sequence, info, origin)
 
 
 def echo_request(identifier: int, sequence: int) -> ScmpMessage:

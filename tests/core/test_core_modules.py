@@ -145,6 +145,63 @@ class TestMonitoring:
             ConnectivityMonitor(world.network, IA.parse("71-20965"), [],
                                 probe_interval_s=0)
 
+    def test_invalid_flap_damping(self, world):
+        with pytest.raises(ValueError):
+            ConnectivityMonitor(world.network, IA.parse("71-20965"), [],
+                                flap_damping_rounds=0)
+
+    def test_flap_damping_suppresses_single_bad_round(self, world):
+        network = world.network
+        monitor = ConnectivityMonitor(
+            network, vantage=IA.parse("71-20965"),
+            targets=[IA.parse("71-2:0:5c")], probe_interval_s=60.0,
+            flap_damping_rounds=3,
+        )
+        sim = Simulator()
+        monitor.start(sim)
+        try:
+            # One lossy round (down at t=60 only), then recovery.
+            sim.run(until=30.0)
+            network.set_link_state("ufms-rnp-1", False)
+            network.set_link_state("ufms-rnp-2", False)
+            sim.run(until=90.0)
+            network.set_link_state("ufms-rnp-1", True)
+            network.set_link_state("ufms-rnp-2", True)
+            sim.run(until=400.0)
+            assert monitor.alerts == []          # damped: no page
+            # A real outage spanning 3 rounds does alert.
+            network.set_link_state("ufms-rnp-1", False)
+            network.set_link_state("ufms-rnp-2", False)
+            sim.run(until=400.0 + 4 * 60.0)
+            assert [a.kind for a in monitor.alerts] == ["connectivity-lost"]
+            # Restores are never damped: good news on the next round.
+            network.set_link_state("ufms-rnp-1", True)
+            network.set_link_state("ufms-rnp-2", True)
+            sim.run(until=400.0 + 6 * 60.0)
+            assert [a.kind for a in monitor.alerts] == [
+                "connectivity-lost", "connectivity-restored",
+            ]
+        finally:
+            monitor.stop()
+            network.set_link_state("ufms-rnp-1", True)
+            network.set_link_state("ufms-rnp-2", True)
+
+    def test_stop_tears_down_probe_loop(self, world):
+        monitor = ConnectivityMonitor(
+            world.network, vantage=IA.parse("71-20965"),
+            targets=[IA.parse("71-2:0:5c")], probe_interval_s=60.0,
+        )
+        sim = Simulator()
+        monitor.start(sim)
+        sim.run(until=130.0)
+        probes_at_stop = monitor.probes_sent
+        assert probes_at_stop > 0
+        monitor.stop()
+        sim.run(until=1000.0)
+        assert monitor.probes_sent == probes_at_stop
+        # The simulator drained: no orphaned reschedule timers remain.
+        assert sim.pending_events == 0
+
 
 class TestSurvey:
     def test_eight_respondents(self):

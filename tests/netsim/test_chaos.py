@@ -1,0 +1,234 @@
+"""Tests for the chaos layer: fault injection on links, probes, servers."""
+
+import dataclasses
+
+import pytest
+
+from repro.netsim.chaos import (
+    ChaosError,
+    FaultEvent,
+    FaultInjector,
+    FaultProfile,
+    ServerOutage,
+)
+from repro.netsim.failures import FailureSchedule, LinkEvent
+from repro.netsim.link import Link
+from repro.netsim.simulator import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeProbeResult:
+    success: bool
+    rtt_s: float = 0.0
+    one_way_s: float = 0.0
+    failure: str = ""
+
+
+class FakeServer:
+    ip = "10.0.0.1"
+    port = 8041
+    processing_s = 0.002
+
+    def __init__(self):
+        self.topology_calls = 0
+        self.trc_calls = 0
+
+    def get_topology(self):
+        self.topology_calls += 1
+        return "topology"
+
+    def get_trcs(self):
+        self.trc_calls += 1
+        return ["trc"]
+
+
+def deliver_counter():
+    state = {"count": 0}
+
+    def deliver():
+        state["count"] += 1
+
+    return state, deliver
+
+
+class TestFaultProfile:
+    def test_rejects_out_of_range_probabilities(self):
+        with pytest.raises(ChaosError):
+            FaultProfile(loss=1.0)
+        with pytest.raises(ChaosError):
+            FaultProfile(outage=-0.1)
+        with pytest.raises(ChaosError):
+            FaultProfile(latency_spike_s=-1.0)
+
+    def test_defaults_inject_nothing(self):
+        profile = FaultProfile()
+        assert (profile.loss, profile.duplicate, profile.corrupt,
+                profile.outage) == (0.0, 0.0, 0.0, 0.0)
+
+
+class TestLinkWrapping:
+    def run_frames(self, profile, n=400, seed=1):
+        sim = Simulator()
+        link = Link("l", "x", "y", latency_s=0.01)
+        injector = FaultInjector(seed=seed)
+        restore = injector.wrap_link(link, profile)
+        state, deliver = deliver_counter()
+        for _ in range(n):
+            link.transmit(sim, "x", 100, deliver)
+        sim.run()
+        return injector, link, state, restore
+
+    def test_loss_drops_frames(self):
+        injector, link, state, _ = self.run_frames(FaultProfile(loss=0.3))
+        losses = sum(1 for e in injector.events if e.kind == "loss")
+        assert losses > 0
+        assert state["count"] == 400 - losses
+        assert link.stats.frames_dropped_loss == losses
+
+    def test_corrupt_drops_frames(self):
+        injector, link, state, _ = self.run_frames(FaultProfile(corrupt=0.3))
+        corrupted = sum(1 for e in injector.events if e.kind == "corrupt")
+        assert corrupted > 0
+        assert state["count"] == 400 - corrupted
+
+    def test_duplicate_delivers_twice(self):
+        injector, link, state, _ = self.run_frames(FaultProfile(duplicate=0.3))
+        dupes = sum(1 for e in injector.events if e.kind == "duplicate")
+        assert dupes > 0
+        assert state["count"] == 400 + dupes
+
+    def test_latency_spike_delays_delivery(self):
+        sim = Simulator()
+        link = Link("l", "x", "y", latency_s=0.01)
+        injector = FaultInjector(seed=3)
+        # Always spike, so the single frame must arrive late.
+        injector.wrap_link(
+            link, FaultProfile(latency_spike=0.99, latency_spike_s=0.5)
+        )
+        arrivals = []
+        link.transmit(sim, "x", 100, lambda: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(0.51)]
+        assert link.latency_s == 0.01  # restored after the frame
+
+    def test_restore_removes_wrapper(self):
+        injector, link, state, restore = self.run_frames(FaultProfile(loss=0.5))
+        restore()
+        before = len(injector.events)
+        sim = Simulator()
+        for _ in range(100):
+            link.transmit(sim, "x", 100, lambda: None)
+        sim.run()
+        assert len(injector.events) == before
+
+    def test_same_seed_same_fault_stream(self):
+        a, _, _, _ = self.run_frames(FaultProfile(loss=0.2, duplicate=0.1), seed=9)
+        b, _, _, _ = self.run_frames(FaultProfile(loss=0.2, duplicate=0.1), seed=9)
+        assert a.events == b.events
+        assert a.event_digest() == b.event_digest()
+
+    def test_different_seed_different_stream(self):
+        profile = FaultProfile(loss=0.3, duplicate=0.3)
+        a, _, _, _ = self.run_frames(profile, seed=1)
+        b, _, _, _ = self.run_frames(profile, seed=2)
+        assert [e.kind for e in a.events] != [e.kind for e in b.events]
+
+
+class TestProbeFilter:
+    def test_loss_fails_probe(self):
+        injector = FaultInjector(seed=4)
+        apply = injector.probe_filter(FaultProfile(loss=0.99), "path")
+        result = apply(FakeProbeResult(True, rtt_s=0.1, one_way_s=0.05), 1.0)
+        assert not result.success
+        assert result.failure == "chaos-loss"
+
+    def test_spike_inflates_latency(self):
+        injector = FaultInjector(seed=4)
+        apply = injector.probe_filter(
+            FaultProfile(latency_spike=0.99, latency_spike_s=0.2), "path"
+        )
+        result = apply(FakeProbeResult(True, rtt_s=0.1, one_way_s=0.05), 1.0)
+        assert result.success
+        assert result.rtt_s == pytest.approx(0.5)
+        assert result.one_way_s == pytest.approx(0.25)
+
+    def test_failed_probe_passes_through(self):
+        injector = FaultInjector(seed=4)
+        apply = injector.probe_filter(FaultProfile(loss=0.99), "path")
+        original = FakeProbeResult(False, failure="link-down")
+        assert apply(original, 1.0) is original
+        assert injector.events == []
+
+    def test_wrap_dataplane_restores(self):
+        class FakeDataplane:
+            def probe(self, path, now):
+                return FakeProbeResult(True, rtt_s=0.1, one_way_s=0.05)
+
+        dataplane = FakeDataplane()
+        injector = FaultInjector(seed=4)
+        restore = injector.wrap_dataplane(dataplane, FaultProfile(loss=0.99))
+        assert not dataplane.probe("p", 0.0).success
+        restore()
+        assert dataplane.probe("p", 0.0).success
+
+
+class TestFaultyServer:
+    def test_transparent_when_healthy(self):
+        injector = FaultInjector()
+        proxy = injector.wrap_server(FakeServer(), FaultProfile(), name="s")
+        assert proxy.get_topology() == "topology"
+        assert proxy.get_trcs() == ["trc"]
+        assert (proxy.ip, proxy.port, proxy.processing_s) == (
+            "10.0.0.1", 8041, 0.002
+        )
+        assert proxy.refused_requests == 0
+
+    def test_hard_outage_refuses_everything(self):
+        injector = FaultInjector()
+        server = FakeServer()
+        proxy = injector.wrap_server(server, FaultProfile(), name="s")
+        proxy.set_down(True, now=5.0)
+        with pytest.raises(ServerOutage):
+            proxy.get_topology()
+        with pytest.raises(ServerOutage):
+            proxy.get_trcs()
+        assert server.topology_calls == 0
+        assert proxy.refused_requests == 2
+        proxy.set_down(False, now=6.0)
+        assert proxy.get_topology() == "topology"
+        kinds = [e.kind for e in injector.events]
+        assert kinds == ["server-outage", "server-recovery"]
+
+    def test_probabilistic_outage(self):
+        injector = FaultInjector(seed=8)
+        proxy = injector.wrap_server(
+            FakeServer(), FaultProfile(outage=0.5), name="s"
+        )
+        outcomes = []
+        for _ in range(200):
+            try:
+                proxy.get_topology()
+                outcomes.append(True)
+            except ServerOutage:
+                outcomes.append(False)
+        assert any(outcomes) and not all(outcomes)
+        assert proxy.refused_requests == outcomes.count(False)
+
+    def test_outage_is_transient(self):
+        assert ServerOutage.transient is True
+
+
+class TestScheduleObservation:
+    def test_schedule_flips_mirrored_into_stream(self):
+        sim = Simulator()
+        link = Link("wan", "x", "y", latency_s=0.01)
+        schedule = FailureSchedule()
+        schedule.add_cable_cut("wan", time_s=10.0, repair_s=20.0)
+        injector = FaultInjector()
+        injector.observe_schedule(schedule)
+        schedule.install(sim, {"wan": link})
+        sim.run()
+        assert injector.events == [
+            FaultEvent(10.0, "wan", "link-down", "cable-cut"),
+            FaultEvent(20.0, "wan", "link-up", "repaired"),
+        ]

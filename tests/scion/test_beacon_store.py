@@ -57,6 +57,48 @@ class TestBeaconStore:
         long = make_beacon(1, [(1, 0, 6), (2, 4, 8), (3, 1, 0)])
         assert store.insert(short)
         assert not store.insert(long)
+        assert store.all_beacons() == [short]
+
+    def test_equal_length_newcomer_dropped_at_capacity(self):
+        """A newcomer only displaces a *strictly longer* beacon: churning
+        between equal-length beacons would repeatedly invalidate
+        registered segments for no path-quality gain."""
+        store = BeaconStore(capacity_per_origin=1)
+        first = make_beacon(1, [(1, 0, 5), (3, 9, 0)])
+        same_length = make_beacon(1, [(1, 0, 6), (3, 8, 0)])
+        assert store.insert(first)
+        assert not store.insert(same_length)
+        assert store.all_beacons() == [first]
+
+    def test_eviction_removes_exactly_the_longest(self):
+        store = BeaconStore(capacity_per_origin=2)
+        medium = make_beacon(1, [(1, 0, 5), (2, 3, 7), (3, 2, 0)])
+        monster = make_beacon(
+            1, [(1, 0, 6), (4, 1, 2), (5, 3, 4), (3, 1, 0)]
+        )
+        short = make_beacon(1, [(1, 0, 7), (3, 9, 0)])
+        assert store.insert(medium)
+        assert store.insert(monster)
+        assert store.insert(short)
+        survivors = store.all_beacons()
+        assert monster not in survivors
+        assert medium in survivors and short in survivors
+
+    def test_eviction_tie_breaks_deterministically(self):
+        """Two equally-long victims: the one with the larger fingerprint
+        goes, whichever insertion order produced the bucket."""
+        hop_a = [(1, 0, 5), (2, 3, 7), (3, 2, 0)]
+        hop_b = [(1, 0, 6), (2, 4, 8), (3, 1, 0)]
+        survivors = []
+        for order in ([hop_a, hop_b], [hop_b, hop_a]):
+            store = BeaconStore(capacity_per_origin=2)
+            for hops in order:
+                assert store.insert(make_beacon(1, hops))
+            assert store.insert(make_beacon(1, [(1, 0, 9), (3, 9, 0)]))
+            survivors.append(
+                sorted(b.interface_fingerprint() for b in store.all_beacons())
+            )
+        assert survivors[0] == survivors[1]
 
     def test_select_bounds_detour(self):
         store = BeaconStore()

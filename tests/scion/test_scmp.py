@@ -3,6 +3,7 @@
 import pytest
 
 from repro.scion.scmp import (
+    ScmpDecodeError,
     ScmpMessage,
     ScmpType,
     echo_reply,
@@ -36,3 +37,40 @@ def test_interface_down_carries_origin_and_ifid():
     assert decoded.origin_ia == "71-2:0:3b"
     assert decoded.info == 5
     assert decoded.scmp_type is ScmpType.EXTERNAL_INTERFACE_DOWN
+
+
+class TestDecodeRejectsGarbage:
+    """A corrupted wire must never decode into a valid-looking message —
+    a truncated origin_ia would attribute an interface-down error to the
+    wrong AS."""
+
+    def test_empty_and_short_header(self):
+        for raw in (b"", b"\x80", interface_down("71-1", 2).encode()[:5]):
+            with pytest.raises(ScmpDecodeError, match="truncated"):
+                ScmpMessage.decode(raw)
+
+    def test_origin_truncated(self):
+        wire = interface_down("71-2:0:3b", 5).encode()
+        with pytest.raises(ScmpDecodeError, match="origin truncated"):
+            ScmpMessage.decode(wire[:-1])
+
+    def test_trailing_padding_rejected(self):
+        wire = interface_down("71-2:0:3b", 5).encode()
+        with pytest.raises(ScmpDecodeError, match="truncated or padded"):
+            ScmpMessage.decode(wire + b"\x00")
+
+    def test_invalid_utf8_origin(self):
+        good = interface_down("ab", 5).encode()
+        bad = good[:-2] + b"\xff\xfe"
+        with pytest.raises(ScmpDecodeError, match="UTF-8"):
+            ScmpMessage.decode(bad)
+
+    def test_unknown_type(self):
+        wire = bytearray(echo_request(1, 1).encode())
+        wire[0] = 250  # not an ScmpType value
+        with pytest.raises(ScmpDecodeError, match="unknown SCMP type"):
+            ScmpMessage.decode(bytes(wire))
+
+    def test_decode_error_is_value_error(self):
+        # Callers that predate the chaos layer catch ValueError.
+        assert issubclass(ScmpDecodeError, ValueError)
