@@ -18,6 +18,12 @@ from repro.core.survey import OPERATOR_SURVEY, SurveyAnalysis
 from repro.core.policy import ScieraTransitPolicy
 from repro.core.isd_evolution import IsdSplitPlan, plan_regional_isds
 from repro.core.retry import RetryError, RetryOutcome, RetryPolicy, RetrySchedule
+from repro.core.supervisor import (
+    ServiceState,
+    Supervisor,
+    SupervisorError,
+    SupervisorStats,
+)
 
 __all__ = [
     "DEPLOYMENT_TIMELINE",
@@ -37,4 +43,8 @@ __all__ = [
     "RetryOutcome",
     "RetryPolicy",
     "RetrySchedule",
+    "ServiceState",
+    "Supervisor",
+    "SupervisorError",
+    "SupervisorStats",
 ]

@@ -57,6 +57,8 @@ EXPERIMENTS: Dict[str, Tuple[str, str]] = {
                    "Dispatcher vs dispatcherless ablation (Section 4.8)"),
     "chaos": ("repro.experiments.chaos_resilience",
               "Resilience under injected faults (Sections 4.7/5.4)"),
+    "control_chaos": ("repro.experiments.control_chaos",
+                      "Control-plane self-healing under chaos (Section 5.4)"),
 }
 
 

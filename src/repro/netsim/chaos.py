@@ -42,6 +42,16 @@ class ServerOutage(Exception):
     transient = True
 
 
+class CaOutage(Exception):
+    """A wrapped certificate authority refused an issuance request.
+
+    Transient: certificate renewals back off and retry (the paper's §4.5
+    CA is an ordinary service that PoP maintenance takes down too).
+    """
+
+    transient = True
+
+
 @dataclass(frozen=True)
 class FaultProfile:
     """Per-target fault probabilities (all independent, per operation).
@@ -75,7 +85,10 @@ class FaultEvent:
     time_s: float
     target: str
     kind: str      # "loss" | "latency-spike" | "duplicate" | "corrupt"
-    #                | "server-outage" | "link-down" | "link-up"
+    #                | "server-outage" | "server-recovery"
+    #                | "link-down" | "link-up"
+    #                | "service-crash" | "service-restart"
+    #                | "ca-outage" | "ca-recovery"
     detail: str = ""
 
 
@@ -239,6 +252,29 @@ class FaultInjector:
         """A proxy around a bootstrap-style server with injected outages."""
         return FaultyServer(server, profile, self, name or getattr(server, "ip", "server"))
 
+    # -- control-plane faults ---------------------------------------------------
+
+    def wrap_ca(self, ca: Any, profile: FaultProfile,
+                name: str = "") -> "FaultyCa":
+        """A proxy around a :class:`CaService` with injected outages.
+
+        Issuance and renewal calls raise :class:`CaOutage` while the CA is
+        marked down or, per request, with the profile's ``outage``
+        probability; certificate-renewal clients retry with backoff.
+        """
+        return FaultyCa(ca, profile, self, name or getattr(ca, "name", "ca"))
+
+    def crash_service(self, supervisor: Any, name: str, now: float,
+                      detail: str = "") -> None:
+        """Crash a supervised control-plane service (``service-crash``).
+
+        Delegates the state loss to the supervisor (which owns the
+        service's stores and restart policy) and records the fault in the
+        shared event stream so the digest covers control-plane chaos too.
+        """
+        self.record(now, name, "service-crash", detail)
+        supervisor.crash(name, now)
+
 
 class FaultyServer:
     """Proxy for a :class:`BootstrapServer`-shaped object under chaos.
@@ -295,3 +331,73 @@ class FaultyServer:
     def get_trcs(self):
         self._gate()
         return self._server.get_trcs()
+
+
+class FaultyCa:
+    """Proxy for a :class:`CaService`-shaped object under chaos.
+
+    Issuance requests (``issue_as_certificate`` / ``renew``) fail with
+    :class:`CaOutage` while the CA is marked down or, per request, with the
+    profile's ``outage`` probability.  Read-side helpers
+    (``needs_renewal``, ``issuance_count``) delegate without gating — they
+    are local computations, not requests to the CA.  The proxy can stand in
+    for the CA anywhere a renewal client holds one.
+    """
+
+    def __init__(self, ca: Any, profile: FaultProfile,
+                 injector: FaultInjector, name: str):
+        self._ca = ca
+        self.profile = profile
+        self.injector = injector
+        self.name = name
+        self.down = False
+        self.refused_requests = 0
+
+    @property
+    def as_cert_lifetime_s(self) -> float:
+        return self._ca.as_cert_lifetime_s
+
+    @property
+    def latest(self):
+        return self._ca.latest
+
+    @property
+    def issued(self):
+        return self._ca.issued
+
+    def set_down(self, down: bool, now: float = 0.0) -> None:
+        """Hard outage toggle (a PoP maintenance window for the CA)."""
+        self.down = down
+        self.injector.record(
+            now, self.name, "ca-outage" if down else "ca-recovery"
+        )
+
+    def _gate(self, now: float = 0.0) -> None:
+        if self.down:
+            self.refused_requests += 1
+            raise CaOutage(f"certificate authority {self.name} is down")
+        if self.profile.outage and self.injector.rng.random() < self.profile.outage:
+            self.refused_requests += 1
+            self.injector.record(now, self.name, "ca-outage", "per-request")
+            raise CaOutage(
+                f"certificate authority {self.name} refused the request"
+            )
+
+    def issue_as_certificate(self, subject_ia, subject_public_key, now,
+                             lifetime_s=None):
+        self._gate(now)
+        return self._ca.issue_as_certificate(
+            subject_ia, subject_public_key, now, lifetime_s
+        )
+
+    def renew(self, subject_ia, now):
+        self._gate(now)
+        return self._ca.renew(subject_ia, now)
+
+    def needs_renewal(self, cert, now, renewal_fraction=None):
+        if renewal_fraction is None:
+            return self._ca.needs_renewal(cert, now)
+        return self._ca.needs_renewal(cert, now, renewal_fraction)
+
+    def issuance_count(self, subject_ia=None):
+        return self._ca.issuance_count(subject_ia)

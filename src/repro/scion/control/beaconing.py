@@ -26,15 +26,49 @@ from repro.scion.path import HopField
 from repro.scion.topology import GlobalTopology, Interface, LinkType
 
 
+@dataclass
+class BeaconStoreStats:
+    """Mutation counters of one beacon store (fed to dashboards)."""
+
+    inserted: int = 0
+    evicted: int = 0
+    purged_expired: int = 0
+
+
 class BeaconStore:
-    """Per-AS store of received (terminated) beacons, grouped by origin."""
+    """Per-AS store of received (terminated) beacons, grouped by origin.
+
+    Lookups and inserts that carry a clock (``now``) purge beacons whose
+    earliest hop field has expired — a store must never serve a segment
+    the data plane would reject.
+    """
 
     def __init__(self, capacity_per_origin: int = 48):
         self.capacity_per_origin = capacity_per_origin
         self._by_origin: Dict[IA, Dict[str, Beacon]] = {}
+        self.stats = BeaconStoreStats()
 
-    def insert(self, beacon: Beacon) -> bool:
+    def purge_expired(self, now: float) -> int:
+        """Drop every beacon past its expiry; returns how many went."""
+        purged = 0
+        for origin in list(self._by_origin):
+            bucket = self._by_origin[origin]
+            stale = [fp for fp, b in bucket.items() if b.expires_at() <= now]
+            for fp in stale:
+                del bucket[fp]
+            purged += len(stale)
+            if not bucket:
+                del self._by_origin[origin]
+        self.stats.purged_expired += purged
+        return purged
+
+    def insert(self, beacon: Beacon, now: Optional[float] = None) -> bool:
         """Insert a beacon; returns True if the store changed."""
+        if now is not None:
+            self.purge_expired(now)
+            if beacon.expires_at() <= now:
+                self.stats.purged_expired += 1
+                return False
         origin = beacon.origin_ia
         bucket = self._by_origin.setdefault(origin, {})
         fp = beacon.interface_fingerprint()
@@ -47,22 +81,47 @@ class BeaconStore:
             if len(beacon) >= len(bucket[worst_fp]):
                 return False
             del bucket[worst_fp]
+            self.stats.evicted += 1
         bucket[fp] = beacon
+        self.stats.inserted += 1
         return True
 
     def origins(self) -> List[IA]:
         return sorted(self._by_origin)
 
-    def all_beacons(self) -> List[Beacon]:
+    def all_beacons(self, now: Optional[float] = None) -> List[Beacon]:
+        if now is not None:
+            self.purge_expired(now)
         out: List[Beacon] = []
         for origin in self.origins():
             out.extend(self._by_origin[origin].values())
         return out
 
-    def beacons_from(self, origin: IA) -> List[Beacon]:
+    def beacons_from(self, origin: IA, now: Optional[float] = None) -> List[Beacon]:
+        if now is not None:
+            self.purge_expired(now)
         return list(self._by_origin.get(origin, {}).values())
 
-    def select(self, origin: IA, k: int, max_detour: int = 2) -> List[Beacon]:
+    # -- crash/restart support -------------------------------------------------
+
+    def snapshot(self) -> Dict[IA, Dict[str, Beacon]]:
+        """A restorable copy of the store contents (beacons are frozen)."""
+        return {
+            origin: dict(bucket) for origin, bucket in self._by_origin.items()
+        }
+
+    def restore(self, snapshot: Dict[IA, Dict[str, Beacon]]) -> None:
+        """Replace the contents with a snapshot (warm restart)."""
+        self._by_origin = {
+            origin: dict(bucket) for origin, bucket in snapshot.items()
+        }
+
+    def clear(self) -> None:
+        """Drop all contents (cold restart / crash)."""
+        self._by_origin = {}
+
+    def select(self, origin: IA, k: int, max_detour: int = 2,
+               now: Optional[float] = None) -> List[Beacon]:
         """Diversity-aware best-k selection for one origin.
 
         ``max_detour`` drops beacons more than that many AS hops longer
@@ -72,6 +131,8 @@ class BeaconStore:
         which contradicts the paper's Figure 9 (most pairs see zero median
         deviation).
         """
+        if now is not None:
+            self.purge_expired(now)
         candidates = sorted(
             self._by_origin.get(origin, {}).values(),
             key=lambda b: (len(b), b.interface_fingerprint()),
@@ -100,8 +161,11 @@ class BeaconStore:
                 covered.add(f"{entry.ia}#{entry.hop.cons_egress}")
         return chosen
 
-    def select_all(self, k_per_origin: int, max_detour: int = 2) -> List[Beacon]:
+    def select_all(self, k_per_origin: int, max_detour: int = 2,
+                   now: Optional[float] = None) -> List[Beacon]:
         out: List[Beacon] = []
+        if now is not None:
+            self.purge_expired(now)
         for origin in self.origins():
             out.extend(self.select(origin, k_per_origin, max_detour))
         return out
@@ -146,6 +210,30 @@ class BeaconingEngine:
         }
         #: (sender, beacon fingerprint, egress ifid) already propagated.
         self._sent: Set[Tuple[IA, str, int]] = set()
+
+    # -- crash/restart support ---------------------------------------------------
+
+    def snapshot_stores(self) -> Dict[str, Dict[IA, Dict]]:
+        """Snapshot every beacon store (for supervisor warm restarts)."""
+        return {
+            "core": {ia: s.snapshot() for ia, s in self.core_stores.items()},
+            "down": {ia: s.snapshot() for ia, s in self.down_stores.items()},
+        }
+
+    def restore_stores(self, snapshot: Dict[str, Dict[IA, Dict]]) -> None:
+        """Restore every beacon store from a snapshot (warm restart)."""
+        for ia, store in self.core_stores.items():
+            store.restore(snapshot["core"].get(ia, {}))
+        for ia, store in self.down_stores.items():
+            store.restore(snapshot["down"].get(ia, {}))
+
+    def clear_stores(self) -> None:
+        """Empty every beacon store (crash / cold restart)."""
+        for store in self.core_stores.values():
+            store.clear()
+        for store in self.down_stores.values():
+            store.clear()
+        self._sent.clear()
 
     # -- entry construction ------------------------------------------------------
 

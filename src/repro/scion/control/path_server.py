@@ -28,6 +28,7 @@ class RegistryStats:
     registrations: int = 0
     lookups: int = 0
     cache_hits: int = 0
+    purged_expired: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -58,29 +59,65 @@ class SegmentRegistry:
 
     # -- registration ---------------------------------------------------------
 
-    def register_down(self, segment: Beacon) -> None:
+    def register_down(self, segment: Beacon, now: Optional[float] = None) -> None:
+        if now is not None and segment.expires_at() <= now:
+            self.stats.purged_expired += 1
+            return
         leaf = segment.terminal_ia
         bucket = self._down.setdefault(leaf, {})
         bucket[segment.interface_fingerprint()] = segment
         self.stats.registrations += 1
         self._version += 1
 
-    def register_core(self, segment: Beacon) -> None:
+    def register_core(self, segment: Beacon, now: Optional[float] = None) -> None:
+        if now is not None and segment.expires_at() <= now:
+            self.stats.purged_expired += 1
+            return
         key = (segment.origin_ia, segment.terminal_ia)
         bucket = self._core.setdefault(key, {})
         bucket[segment.interface_fingerprint()] = segment
         self.stats.registrations += 1
         self._version += 1
 
+    # -- expiry -----------------------------------------------------------------
+
+    def purge_expired(self, now: float) -> int:
+        """Drop every registered segment past its expiry.
+
+        Bumps the registry version when anything goes, so versioned local
+        caches can no longer serve the purged segments.
+        """
+        purged = 0
+        for table in (self._down, self._core):
+            for key in list(table):
+                bucket = table[key]
+                stale = [
+                    fp for fp, seg in bucket.items() if seg.expires_at() <= now
+                ]
+                for fp in stale:
+                    del bucket[fp]
+                purged += len(stale)
+                if not bucket:
+                    del table[key]
+        if purged:
+            self._version += 1
+        self.stats.purged_expired += purged
+        return purged
+
     # -- lookup -----------------------------------------------------------------
 
-    def down_segments(self, dst: IA) -> List[Beacon]:
+    def down_segments(self, dst: IA, now: Optional[float] = None) -> List[Beacon]:
+        if now is not None:
+            self.purge_expired(now)
         self.stats.lookups += 1
         return list(self._down.get(dst, {}).values())
 
     def core_segments(
-        self, origin: Optional[IA] = None, terminal: Optional[IA] = None
+        self, origin: Optional[IA] = None, terminal: Optional[IA] = None,
+        now: Optional[float] = None,
     ) -> List[Beacon]:
+        if now is not None:
+            self.purge_expired(now)
         self.stats.lookups += 1
         out: List[Beacon] = []
         for (seg_origin, seg_terminal), bucket in sorted(
@@ -96,6 +133,37 @@ class SegmentRegistry:
     def core_ases_with_down_segments(self, dst: IA) -> List[IA]:
         """Origin cores from which ``dst`` is reachable via down segments."""
         return sorted({seg.origin_ia for seg in self.down_segments(dst)})
+
+    # -- crash/restart support ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A restorable copy of all registered segments."""
+        return {
+            "down": {leaf: dict(bucket) for leaf, bucket in self._down.items()},
+            "core": {key: dict(bucket) for key, bucket in self._core.items()},
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Replace the contents with a snapshot (warm restart).
+
+        Bumps the version so local path-server caches built against the
+        pre-restore state are invalidated.
+        """
+        self._down = {
+            leaf: dict(bucket)
+            for leaf, bucket in snapshot["down"].items()  # type: ignore[union-attr]
+        }
+        self._core = {
+            key: dict(bucket)
+            for key, bucket in snapshot["core"].items()  # type: ignore[union-attr]
+        }
+        self._version += 1
+
+    def clear(self) -> None:
+        """Drop every registered segment (crash / cold restart)."""
+        self._down = {}
+        self._core = {}
+        self._version += 1
 
 
 @dataclass
@@ -148,12 +216,40 @@ class LocalPathServer:
     def invalidate_cache(self) -> None:
         self._cache.clear()
 
+    # -- crash/restart support -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Beacon]:
+        """A restorable copy of the up-segment table."""
+        return dict(self._up)
+
+    def restore(self, snapshot: Dict[str, Beacon]) -> None:
+        """Replace the up-segment table with a snapshot (warm restart)."""
+        self._up = dict(snapshot)
+        self._up_version += 1
+        self._cache.clear()
+
+    def clear(self) -> None:
+        """Drop up segments and caches (crash / cold restart)."""
+        self._up = {}
+        self._up_version += 1
+        self._cache.clear()
+
+    def purge_expired(self, now: float) -> int:
+        """Drop expired up segments; returns how many went."""
+        stale = [fp for fp, seg in self._up.items() if seg.expires_at() <= now]
+        for fp in stale:
+            del self._up[fp]
+        if stale:
+            self._up_version += 1
+            self.registry.stats.purged_expired += len(stale)
+        return len(stale)
+
     def _state_version(self) -> Tuple[int, int]:
         """Version of everything a cached lookup depends on."""
         return (self.registry.version, self._up_version)
 
     def segments_for(
-        self, dst: IA
+        self, dst: IA, now: Optional[float] = None
     ) -> Tuple[
         Tuple[Beacon, ...], Tuple[Beacon, ...], Tuple[Beacon, ...], LookupTiming
     ]:
@@ -163,8 +259,13 @@ class LocalPathServer:
         can reach upward; the combinator filters to usable combinations.
         Results are immutable tuples (callers cannot corrupt the cache) and
         cached entries are versioned against registry and up-segment
-        mutations, so later beaconing rounds stay visible.
+        mutations, so later beaconing rounds stay visible.  Passing ``now``
+        purges expired segments first (which bumps the state version, so
+        stale cached answers cannot be served).
         """
+        if now is not None:
+            self.purge_expired(now)
+            self.registry.purge_expired(now)
         cached = self._cache.get(dst)
         if cached is not None and cached[0] == self._state_version():
             _, ups, cores, downs = cached

@@ -133,6 +133,14 @@ class Beacon:
     def __len__(self) -> int:
         return len(self.entries)
 
+    def expires_at(self) -> float:
+        """Absolute expiry of the segment: the earliest hop-field expiry.
+
+        A segment is unusable on the data plane once any hop field in it
+        has expired, so stores treat this as the whole segment's deadline.
+        """
+        return float(min(entry.hop.expiry for entry in self.entries))
+
     # -- signing and verification --------------------------------------------------
 
     def _signing_message(self, upto: int) -> bytes:
@@ -194,7 +202,7 @@ class Beacon:
     @staticmethod
     def make_validating_key_resolver(
         cert_resolver: Callable[[IA], Sequence[Certificate]],
-        trc_resolver: Callable[[int], Trc],
+        trc_resolver: Callable[[int], object],
         now: float,
     ) -> Callable[[IA], "RsaPublicKey"]:
         """Build a memoizing key resolver that validates certificate chains.
@@ -202,6 +210,11 @@ class Beacon:
         The returned callable validates the AS's chain against its ISD's TRC
         once, caches the result, and returns the leaf public key; it raises
         :class:`BeaconError` for missing or invalid chains.
+
+        ``trc_resolver`` may return a single :class:`Trc` or a sequence of
+        acceptable TRCs ordered latest-first (e.g. the active TRC plus its
+        predecessor inside a rollover grace window); the chain is accepted
+        if it anchors in *any* of them.
         """
         cache: Dict[IA, "RsaPublicKey"] = {}
 
@@ -212,15 +225,26 @@ class Beacon:
             chain = cert_resolver(ia)
             if not chain:
                 raise BeaconError(f"no certificate chain for {ia}")
-            trc = trc_resolver(ia.isd)
-            try:
-                verify_chain(chain, trc, now)
-            except CertificateError as exc:
-                raise BeaconError(
-                    f"certificate chain for {ia} invalid: {exc}"
-                ) from exc
-            cache[ia] = chain[0].public_key
-            return chain[0].public_key
+            resolved = trc_resolver(ia.isd)
+            trcs: Sequence[Trc]
+            if isinstance(resolved, Trc):
+                trcs = (resolved,)
+            else:
+                trcs = tuple(resolved)
+            if not trcs:
+                raise BeaconError(f"no TRC for ISD {ia.isd}")
+            last_error: Optional[CertificateError] = None
+            for trc in trcs:
+                try:
+                    verify_chain(chain, trc, now)
+                except CertificateError as exc:
+                    last_error = exc
+                    continue
+                cache[ia] = chain[0].public_key
+                return chain[0].public_key
+            raise BeaconError(
+                f"certificate chain for {ia} invalid: {last_error}"
+            ) from last_error
 
         return resolve
 

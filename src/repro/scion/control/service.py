@@ -21,21 +21,50 @@ from repro.scion.crypto.trc import Trc, TrcError, verify_trc_chain
 from repro.scion.topology import AsTopology
 
 
+#: How long a superseded TRC keeps verifying segments after its successor
+#: lands.  SCION production deployments use grace periods of hours so that
+#: in-flight segments signed under the predecessor stay usable while every
+#: AS re-issues its chain under the new roots.
+DEFAULT_TRC_GRACE_S = 6 * 3600.0
+
+
 class TrustStore:
-    """Per-AS store of TRCs, validated through TRC chaining."""
+    """Per-AS store of TRCs, validated through TRC chaining.
 
-    def __init__(self) -> None:
+    A rollover (adding a successor TRC) opens a *grace window*: for
+    ``grace_window_s`` after the successor arrives, the superseded TRC is
+    still offered to verifiers via :meth:`verifying_trcs`, so segments
+    whose certificate chains anchor in the predecessor's roots remain
+    verifiable while the ISD re-issues its chains.
+    """
+
+    def __init__(self, grace_window_s: float = DEFAULT_TRC_GRACE_S) -> None:
+        self.grace_window_s = grace_window_s
         self._chains: Dict[int, List[Trc]] = {}
+        #: (isd, serial) -> time the successor of that TRC was added
+        self._superseded_at: Dict[tuple, float] = {}
 
-    def add_trc(self, trc: Trc) -> None:
-        """Add a TRC; base TRCs start a chain, updates must chain validly."""
+    def add_trc(self, trc: Trc, now: Optional[float] = None) -> None:
+        """Add a TRC; base TRCs start a chain, updates must chain validly.
+
+        ``now`` stamps the rollover time, which anchors the predecessor's
+        grace window; without it the predecessor gets no grace.
+        """
         chain = self._chains.get(trc.isd)
         if chain is None:
             trc.verify_base()
             self._chains[trc.isd] = [trc]
             return
-        trc.verify_update(chain[-1])
+        predecessor = chain[-1]
+        if trc.serial <= predecessor.serial:
+            raise TrcError(
+                f"TRC serial {trc.serial} does not extend the chain for "
+                f"ISD {trc.isd} (latest serial {predecessor.serial})"
+            )
+        trc.verify_update(predecessor)
         chain.append(trc)
+        if now is not None:
+            self._superseded_at[(trc.isd, predecessor.serial)] = now
 
     def latest(self, isd: int) -> Trc:
         chain = self._chains.get(isd)
@@ -44,7 +73,34 @@ class TrustStore:
         return chain[-1]
 
     def chain(self, isd: int) -> List[Trc]:
-        return list(self._chains.get(isd, []))
+        chain = self._chains.get(isd)
+        if not chain:
+            raise TrcError(f"no TRC for ISD {isd}")
+        return list(chain)
+
+    def verifying_trcs(self, isd: int, now: Optional[float] = None) -> List[Trc]:
+        """TRCs acceptable for verification at ``now``, latest first.
+
+        Always contains the latest TRC; additionally contains the directly
+        superseded TRC while the rollover grace window is open.
+        """
+        chain = self._chains.get(isd)
+        if not chain:
+            raise TrcError(f"no TRC for ISD {isd}")
+        out = [chain[-1]]
+        if now is not None and len(chain) >= 2:
+            predecessor = chain[-2]
+            superseded_at = self._superseded_at.get((isd, predecessor.serial))
+            if (
+                superseded_at is not None
+                and now < superseded_at + self.grace_window_s
+            ):
+                out.append(predecessor)
+        return out
+
+    def grace_open(self, isd: int, now: float) -> bool:
+        """Whether a rollover grace window is currently open for ``isd``."""
+        return len(self.verifying_trcs(isd, now)) > 1
 
     def isds(self) -> List[int]:
         return sorted(self._chains)

@@ -81,8 +81,11 @@ class ScionNetwork:
 
         # 1. Per-ISD trust material.
         self.isd_trust: Dict[int, IsdTrust] = {}
+        self.trust_store = TrustStore()
+        self._pending_root_keys: Dict[int, RsaKeyPair] = {}
         for isd in topology.isds():
             self.isd_trust[isd] = self._build_isd_trust(isd, timestamp)
+            self.trust_store.add_trc(self.isd_trust[isd].trc)
 
         # 2. Per-AS identities and services.
         self.registry = SegmentRegistry()
@@ -112,6 +115,7 @@ class ScionNetwork:
         }
 
         # 3-4. Beaconing and registration.
+        self._path_cache: Dict[Tuple[IA, IA], List[PathMeta]] = {}
         self.beaconing: Optional[BeaconingEngine] = None
         if run_beaconing:
             self.run_beaconing(
@@ -120,7 +124,6 @@ class ScionNetwork:
 
         # 5. Data plane.
         self.dataplane = ScionDataplane(topology, self.forwarding_keys)
-        self._path_cache: Dict[Tuple[IA, IA], List[PathMeta]] = {}
 
     # -- construction helpers ---------------------------------------------------
 
@@ -173,36 +176,141 @@ class ScionNetwork:
     def trc_for(self, isd: int) -> Trc:
         return self.isd_trust[isd].trc
 
+    # -- trust-material lifecycle -------------------------------------------------
+
+    def rollover_trc(
+        self, isd: int, now: float, rotate_root: bool = True
+    ) -> Trc:
+        """Issue and distribute a successor TRC for one ISD.
+
+        The successor is voted by the *predecessor's* root key (that is the
+        chain) and, with ``rotate_root``, names a fresh root key — after
+        which existing certificate chains only verify through the
+        superseded TRC, i.e. only while the grace window is open.  Call
+        :meth:`reissue_trust_chains` to re-anchor the ISD's certificates in
+        the new root before the window closes.
+        """
+        trust = self.isd_trust[isd]
+        old = trust.trc
+        voter = f"root-isd{isd}"
+        if rotate_root:
+            new_key = RsaKeyPair.generate(
+                seed=self._key_seed(f"root-s{old.serial + 1}", isd)
+            )
+        else:
+            new_key = trust.root_key
+        successor = Trc(
+            isd=isd,
+            serial=old.serial + 1,
+            base_serial=old.base_serial,
+            not_before=now,
+            not_after=now + self.TRUST_LIFETIME_S,
+            core_ases=old.core_ases,
+            authoritative_ases=old.authoritative_ases,
+            root_keys={voter: new_key.public},
+            voting_quorum=1,
+            description=f"TRC serial {old.serial + 1} for ISD {isd}",
+        ).with_votes({voter: trust.root_key})
+        self.trust_store.add_trc(successor, now=now)
+        for service in self.services.values():
+            service.trust_store.add_trc(successor, now=now)
+        trust.trc = successor
+        self._pending_root_keys[isd] = new_key
+        return successor
+
+    def reissue_trust_chains(self, isd: int, now: float) -> None:
+        """Complete a TRC rollover: re-anchor the ISD's certificates.
+
+        Re-signs the root and CA certificates under the rolled-over root
+        key and re-issues every AS certificate in the ISD, so chains verify
+        against the *latest* TRC again and survive the grace window
+        closing.
+        """
+        trust = self.isd_trust[isd]
+        new_key = self._pending_root_keys.pop(isd, trust.root_key)
+        not_after = now + self.TRUST_LIFETIME_S
+        root_cert = make_self_signed_root(
+            f"root-isd{isd}", new_key, now, not_after,
+            serial=trust.trc.serial,
+        )
+        ca_cert = Certificate(
+            subject=f"ca-isd{isd}",
+            cert_type=CertType.CA,
+            public_key=trust.ca_key.public,
+            issuer=root_cert.subject,
+            not_before=now,
+            not_after=not_after,
+            serial=trust.trc.serial,
+        ).signed_by(new_key)
+        ca = CaService(
+            f"ca-isd{isd}", trust.ca_key, ca_cert, root_cert,
+            as_cert_lifetime_s=trust.ca.as_cert_lifetime_s,
+        )
+        trust.root_key = new_key
+        trust.root_cert = root_cert
+        trust.ca = ca
+        for ia, service in sorted(self.services.items()):
+            if ia.isd != isd:
+                continue
+            service.renew_certificate(ca, now)
+
     def run_beaconing(
-        self, k_propagate: int = 6, verify_beacons: bool = True
+        self,
+        k_propagate: int = 6,
+        verify_beacons: bool = True,
+        now: Optional[float] = None,
     ) -> BeaconingEngine:
+        """(Re-)run beaconing to a fixed point and register the segments.
+
+        ``now`` is the wall clock certificate chains and TRCs are validated
+        against (default: the network's build timestamp).  A later ``now``
+        makes beacons signed with expired certificates fail verification —
+        exactly what a live network does — and keeps superseded TRCs
+        verifiable inside the rollover grace window.
+        """
+        verify_now = self.timestamp if now is None else now
         key_resolver = Beacon.make_validating_key_resolver(
-            self.cert_chain, self.trc_for, self.timestamp
+            self.cert_chain,
+            lambda isd: self.trust_store.verifying_trcs(isd, verify_now),
+            verify_now,
         )
         engine = BeaconingEngine(
             self.topology,
             self.forwarding_keys,
             self.signing_keys,
             key_resolver,
-            timestamp=self.timestamp,
+            # Hop fields are stamped at the wall clock of this run, so
+            # re-beaconing late in the simulation yields live segments
+            # instead of ones born past their own hop expiry.
+            timestamp=int(verify_now),
             k_propagate=k_propagate,
             verify_beacons=verify_beacons,
         )
         engine.run()
         self.beaconing = engine
-        self._register_segments(engine)
+        # Re-beaconing starts a fresh registration epoch: segments from a
+        # previous run must not outlive the stores that produced them.
+        self.registry.clear()
+        for service in self.services.values():
+            service.path_server.clear()
+        self._path_cache.clear()
+        self._register_segments(engine, now=verify_now)
         return engine
 
-    def _register_segments(self, engine: BeaconingEngine) -> None:
+    def _register_segments(
+        self, engine: BeaconingEngine, now: Optional[float] = None
+    ) -> None:
         for ia, topo in sorted(self.topology.ases.items()):
             service = self.services[ia]
             if topo.is_core:
-                for segment in engine.core_stores[ia].select_all(self.k_register):
-                    self.registry.register_core(segment)
+                stored = engine.core_stores[ia].select_all(self.k_register, now=now)
+                for segment in stored:
+                    self.registry.register_core(segment, now=now)
             else:
-                for segment in engine.down_stores[ia].select_all(self.k_register):
+                stored = engine.down_stores[ia].select_all(self.k_register, now=now)
+                for segment in stored:
                     service.path_server.register_up(segment)
-                    self.registry.register_down(segment)
+                    self.registry.register_down(segment, now=now)
 
     # -- path lookup ---------------------------------------------------------------
 
@@ -335,6 +443,10 @@ class ScionNetwork:
             service.path_server = LocalPathServer(service.ia, self.registry)
 
     # -- operational hooks -----------------------------------------------------------
+
+    def flush_path_cache(self) -> None:
+        """Drop memoized path combinations (control-plane state changed)."""
+        self._path_cache.clear()
 
     def set_link_state(self, link_name: str, up: bool) -> None:
         try:

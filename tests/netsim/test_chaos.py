@@ -232,3 +232,112 @@ class TestScheduleObservation:
             FaultEvent(10.0, "wan", "link-down", "cable-cut"),
             FaultEvent(20.0, "wan", "link-up", "repaired"),
         ]
+
+
+class FakeCa:
+    """CaService-shaped stub: issues opaque tokens and counts calls."""
+
+    as_cert_lifetime_s = 3600.0
+    latest = None
+    issued = {}
+
+    def __init__(self):
+        self.issue_calls = 0
+
+    def issue_as_certificate(self, subject_ia, public_key, now, lifetime_s=None):
+        self.issue_calls += 1
+        return ("cert", subject_ia, now)
+
+    def renew(self, subject_ia, now):
+        self.issue_calls += 1
+        return ("cert", subject_ia, now)
+
+    def needs_renewal(self, cert, now, renewal_fraction=None):
+        return False
+
+    def issuance_count(self, subject_ia=None):
+        return self.issue_calls
+
+
+class TestFaultyCa:
+    def test_transparent_when_healthy(self):
+        from repro.netsim.chaos import FaultyCa
+
+        ca = FakeCa()
+        faulty = FaultInjector(seed=1).wrap_ca(ca, FaultProfile(), name="ca")
+        assert isinstance(faulty, FaultyCa)
+        assert faulty.issue_as_certificate("71-10", b"pk", 5.0)[0] == "cert"
+        assert faulty.renew("71-10", 6.0)[0] == "cert"
+        assert ca.issue_calls == 2
+        assert faulty.refused_requests == 0
+
+    def test_hard_outage_refuses_and_records(self):
+        from repro.netsim.chaos import CaOutage
+
+        injector = FaultInjector(seed=1)
+        faulty = injector.wrap_ca(FakeCa(), FaultProfile(), name="ca-isd71")
+        faulty.set_down(True, now=3.0)
+        with pytest.raises(CaOutage):
+            faulty.issue_as_certificate("71-10", b"pk", 4.0)
+        with pytest.raises(CaOutage):
+            faulty.renew("71-10", 4.5)
+        faulty.set_down(False, now=5.0)
+        assert faulty.issue_as_certificate("71-10", b"pk", 6.0)
+        assert faulty.refused_requests == 2
+        kinds = [event.kind for event in injector.events]
+        assert kinds == ["ca-outage", "ca-recovery"]
+
+    def test_outage_is_transient_for_retry_policies(self):
+        from repro.netsim.chaos import CaOutage
+
+        assert CaOutage("down").transient is True
+
+    def test_probabilistic_refusals_recorded_in_stream(self):
+        from repro.netsim.chaos import CaOutage
+
+        injector = FaultInjector(seed=7)
+        faulty = injector.wrap_ca(
+            FakeCa(), FaultProfile(outage=0.5), name="ca"
+        )
+        refused = 0
+        for i in range(100):
+            try:
+                faulty.renew("71-10", float(i))
+            except CaOutage:
+                refused += 1
+        assert 20 <= refused <= 80
+        per_request = [
+            event for event in injector.events if event.detail == "per-request"
+        ]
+        assert len(per_request) == refused
+
+    def test_read_side_helpers_never_gated(self):
+        injector = FaultInjector(seed=1)
+        faulty = injector.wrap_ca(FakeCa(), FaultProfile(), name="ca")
+        faulty.set_down(True, now=0.0)
+        assert faulty.needs_renewal(None, 0.0) is False
+        assert faulty.issuance_count() == 0
+
+
+class TestCrashServiceFault:
+    class FakeSupervisor:
+        def __init__(self):
+            self.crashes = []
+
+        def crash(self, name, now):
+            self.crashes.append((name, now))
+
+    def test_crash_lands_in_supervisor_and_stream(self):
+        injector = FaultInjector(seed=1)
+        supervisor = self.FakeSupervisor()
+        injector.crash_service(supervisor, "control", 12.0, detail="upgrade")
+        assert supervisor.crashes == [("control", 12.0)]
+        assert injector.events == [
+            FaultEvent(12.0, "control", "service-crash", "upgrade")
+        ]
+
+    def test_crash_events_change_digest(self):
+        first = FaultInjector(seed=1)
+        second = FaultInjector(seed=1)
+        first.crash_service(self.FakeSupervisor(), "control", 1.0)
+        assert first.event_digest() != second.event_digest()

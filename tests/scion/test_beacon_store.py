@@ -139,3 +139,121 @@ class TestBeaconStore:
 
     def test_beacons_from_unknown_origin_empty(self):
         assert BeaconStore().beacons_from(IA(71, 42)) == []
+
+
+EXPIRY = TS + 24 * 3600  # hop fields default to a 24 h lifetime
+
+
+class TestExpiryPurge:
+    def test_purge_expired_drops_and_counts(self):
+        store = BeaconStore()
+        store.insert(make_beacon(1, [(1, 0, 5), (2, 3, 0)]))
+        store.insert(make_beacon(2, [(2, 0, 5), (9, 3, 0)]))
+        assert store.purge_expired(EXPIRY - 1) == 0
+        assert store.purge_expired(EXPIRY + 1) == 2
+        assert store.all_beacons() == []
+        assert store.origins() == []
+        assert store.stats.purged_expired == 2
+
+    def test_insert_rejects_expired_newcomer(self):
+        store = BeaconStore()
+        beacon = make_beacon(1, [(1, 0, 5), (2, 3, 0)])
+        assert not store.insert(beacon, now=EXPIRY + 1)
+        assert store.all_beacons() == []
+        assert store.stats.purged_expired == 1
+        assert store.insert(beacon, now=EXPIRY - 1)
+
+    def test_lookups_purge_when_given_a_clock(self):
+        store = BeaconStore()
+        store.insert(make_beacon(1, [(1, 0, 5), (2, 3, 0)]))
+        assert store.all_beacons(now=EXPIRY - 1)
+        assert store.beacons_from(IA(71, 1), now=EXPIRY - 1)
+        assert store.all_beacons(now=EXPIRY + 1) == []
+        assert store.stats.purged_expired == 1
+
+    def test_select_purges_when_given_a_clock(self):
+        store = BeaconStore()
+        store.insert(make_beacon(1, [(1, 0, 5), (2, 3, 0)]))
+        assert store.select(IA(71, 1), k=5, now=EXPIRY - 1)
+        assert store.select(IA(71, 1), k=5, now=EXPIRY + 1) == []
+        assert store.select_all(k_per_origin=5, now=EXPIRY + 1) == []
+
+    def test_expires_at_is_min_hop_expiry(self):
+        beacon = make_beacon(1, [(1, 0, 5), (2, 3, 0)])
+        assert beacon.expires_at() == float(
+            min(entry.hop.expiry for entry in beacon.entries)
+        )
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_preserves_beacons(self):
+        store = BeaconStore()
+        b1 = make_beacon(1, [(1, 0, 5), (2, 3, 0)])
+        b2 = make_beacon(2, [(2, 0, 5), (9, 3, 0)])
+        store.insert(b1)
+        store.insert(b2)
+        snapshot = store.snapshot()
+        store.clear()
+        assert store.all_beacons() == []
+        store.restore(snapshot)
+        assert sorted(
+            b.interface_fingerprint() for b in store.all_beacons()
+        ) == sorted(b.interface_fingerprint() for b in (b1, b2))
+
+    def test_snapshot_is_isolated_from_later_inserts(self):
+        store = BeaconStore()
+        store.insert(make_beacon(1, [(1, 0, 5), (2, 3, 0)]))
+        snapshot = store.snapshot()
+        store.insert(make_beacon(2, [(2, 0, 5), (9, 3, 0)]))
+        store.restore(snapshot)
+        assert store.origins() == [IA(71, 1)]
+
+
+class TestSegmentRegistryLifecycle:
+    def _registry(self):
+        from repro.scion.control.path_server import SegmentRegistry
+
+        return SegmentRegistry()
+
+    def test_register_rejects_expired_segment(self):
+        registry = self._registry()
+        segment = make_beacon(1, [(1, 0, 5), (2, 3, 0)])
+        version = registry.version
+        registry.register_down(segment, now=EXPIRY + 1)
+        assert registry.down_segments(segment.terminal_ia) == []
+        assert registry.version == version  # rejected: no mutation
+        assert registry.stats.purged_expired == 1
+
+    def test_purge_expired_bumps_version(self):
+        registry = self._registry()
+        segment = make_beacon(1, [(1, 0, 5), (2, 3, 0)])
+        registry.register_down(segment)
+        version = registry.version
+        assert registry.purge_expired(EXPIRY - 1) == 0
+        assert registry.version == version
+        assert registry.purge_expired(EXPIRY + 1) == 1
+        assert registry.version > version
+        assert registry.down_segments(segment.terminal_ia) == []
+
+    def test_lookup_with_clock_purges(self):
+        registry = self._registry()
+        core_seg = make_beacon(1, [(1, 0, 5), (2, 3, 0)])
+        registry.register_core(core_seg)
+        assert registry.core_segments(now=EXPIRY - 1)
+        assert registry.core_segments(now=EXPIRY + 1) == []
+        assert registry.stats.purged_expired == 1
+
+    def test_snapshot_restore_roundtrip(self):
+        registry = self._registry()
+        down = make_beacon(1, [(1, 0, 5), (2, 3, 0)])
+        core = make_beacon(3, [(3, 0, 5), (4, 3, 0)])
+        registry.register_down(down)
+        registry.register_core(core)
+        snapshot = registry.snapshot()
+        version = registry.version
+        registry.clear()
+        assert registry.version > version
+        assert registry.down_segments(down.terminal_ia) == []
+        registry.restore(snapshot)
+        assert len(registry.down_segments(down.terminal_ia)) == 1
+        assert len(registry.core_segments()) == 1
