@@ -35,6 +35,7 @@ from repro.core.retry import RetryError, RetryPolicy
 from repro.scion.addr import IA
 from repro.scion.crypto.ca import DEFAULT_RENEWAL_FRACTION
 from repro.scion.network import ScionNetwork
+from repro.scion.revocation import Revocation
 
 
 class SupervisorError(Exception):
@@ -85,6 +86,9 @@ class SupervisorStats:
     renewal_failures: int = 0
     lookups: int = 0
     lookups_failed: int = 0
+    #: Pending revocations replayed into restarted control services, so a
+    #: crash/restart cycle cannot resurrect quarantined (dead) paths.
+    revocations_replayed: int = 0
 
     @property
     def lookup_availability(self) -> float:
@@ -177,6 +181,45 @@ class Supervisor:
             self._register(f"ca:{isd}", "ca")
         self._checkpoint: Optional[Dict[str, Any]] = None
         self._last_checkpoint_s: Optional[float] = None
+        #: Pending revocations ("IA#ifid" -> token), fed by each path
+        #: server's ``on_revocation`` hook and replayed after restarts.
+        self._revocation_ledger: Dict[str, Revocation] = {}
+        for service in network.services.values():
+            service.path_server.on_revocation = self.record_revocation
+
+    # -- revocation ledger --------------------------------------------------------
+
+    def record_revocation(self, revocation: Revocation) -> None:
+        """Remember an accepted revocation for replay after restarts."""
+        held = self._revocation_ledger.get(revocation.key)
+        if held is None or revocation.expires_at() > held.expires_at():
+            self._revocation_ledger[revocation.key] = revocation
+
+    def pending_revocations(self, now: float) -> List[Revocation]:
+        """Still-active ledger entries (expired ones are dropped)."""
+        expired = [
+            key for key, rev in self._revocation_ledger.items()
+            if not rev.active(now)
+        ]
+        for key in expired:
+            del self._revocation_ledger[key]
+        return sorted(self._revocation_ledger.values(), key=lambda r: r.key)
+
+    def _replay_revocations(self, now: float) -> int:
+        """Re-quarantine after a restart wiped or rewound revocation state.
+
+        Runs *after* cold re-beaconing: re-validation only triggers on
+        segment registration, so replayed revocations stick even though the
+        fresh beacons carry post-revocation timestamps.
+        """
+        replayed = 0
+        registry = self.network.registry
+        for rev in self.pending_revocations(now):
+            if not registry.covers(rev):
+                registry.revoke(rev)
+                replayed += 1
+        self.stats.revocations_replayed += replayed
+        return replayed
 
     # -- registry ---------------------------------------------------------------
 
@@ -341,11 +384,13 @@ class Supervisor:
                 if service is not None:
                     service.path_server.restore(snapshot)
             self.network.flush_path_cache()
+            self._replay_revocations(now)
             self.stats.warm_restarts += 1
             return "warm", self.warm_restore_s
         # Cold: start from empty stores and re-beacon to a fixed point.
         engine = self.network.run_beaconing(now=now)
         self.network.flush_path_cache()
+        self._replay_revocations(now)
         rounds = max(1, engine.stats.rounds)
         self.stats.rebeacon_rounds += rounds
         self.stats.cold_restarts += 1
@@ -361,6 +406,7 @@ class Supervisor:
         )
         if checkpoint is not None:
             service.path_server.restore(checkpoint)
+            self._replay_revocations(now)
             self.stats.warm_restarts += 1
             return "warm", self.warm_restore_s
         # Cold: re-register up segments from the beaconing engine's store.

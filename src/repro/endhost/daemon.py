@@ -32,7 +32,8 @@ from repro.scion.control.service import TrustStore
 from repro.scion.crypto.trc import Trc
 from repro.scion.network import ScionNetwork
 from repro.scion.path import PathMeta
-from repro.scion.scmp import ScmpMessage, ScmpType
+from repro.scion.revocation import Revocation
+from repro.scion.scmp import CODE_UNKNOWN_PATH_INTERFACE, ScmpMessage, ScmpType
 
 
 @dataclass
@@ -55,7 +56,17 @@ class DaemonStats:
     stale_served:
         Failed refreshes answered with the expired entry, marked stale.
     scmp_interface_down:
-        SCMP external-interface-down reports accepted.
+        SCMP interface-scoped error reports accepted (external interface
+        down, unknown path interface).
+    revocations_received:
+        Signed revocation tokens ingested via :meth:`handle_revocation`.
+    revocations_pushed:
+        Revocations forwarded upstream to the AS's local path server.
+    revocations_pulled:
+        Revocations learned *from* the path server during lookups (other
+        hosts' failures propagating to this one).
+    paths_evicted:
+        Cached paths dropped because a revocation covered them.
     """
 
     lookups: int = 0
@@ -65,6 +76,10 @@ class DaemonStats:
     failed_fetches: int = 0
     stale_served: int = 0
     scmp_interface_down: int = 0
+    revocations_received: int = 0
+    revocations_pushed: int = 0
+    revocations_pulled: int = 0
+    paths_evicted: int = 0
 
 
 class Daemon:
@@ -77,11 +92,16 @@ class Daemon:
         cache_ttl_s: float = 300.0,
         down_interface_ttl_s: float = 60.0,
         fetch: Optional[Callable[[IA], List[PathMeta]]] = None,
+        propagate_revocations: bool = True,
     ):
         self.network = network
         self.ia = ia
         self.cache_ttl_s = cache_ttl_s
         self.down_interface_ttl_s = down_interface_ttl_s
+        #: Push ingested revocations to the AS path server and pull other
+        #: hosts' revocations back during lookups. Off = the pre-pipeline
+        #: behaviour (each host rediscovers dead links on its own).
+        self.propagate_revocations = propagate_revocations
         self.stats = DaemonStats()
         self.trust_store = TrustStore()
         for isd in network.topology.isds():
@@ -103,6 +123,7 @@ class Daemon:
         """
         self.stats.lookups += 1
         self._expire_down_interfaces(now)
+        self._pull_revocations(now)
         cached = self._cache.get(dst)
         if cached is not None and now - cached[0] < self.cache_ttl_s:
             self.stats.cache_hits += 1
@@ -132,13 +153,96 @@ class Daemon:
             if not any(ifid in self._down_interfaces for ifid in meta.interfaces)
         ]
 
-    def handle_scmp(self, message: ScmpMessage, now: float = 0.0) -> None:
-        """React to SCMP errors from routers (external interface down)."""
-        if message.scmp_type is ScmpType.EXTERNAL_INTERFACE_DOWN:
-            self.stats.scmp_interface_down += 1
-            self._down_interfaces[f"{message.origin_ia}#{message.info}"] = (
-                now + self.down_interface_ttl_s
-            )
+    def handle_scmp(
+        self,
+        message: ScmpMessage,
+        now: float = 0.0,
+        revocation: Optional[Revocation] = None,
+    ) -> None:
+        """React to SCMP errors from routers.
+
+        Interface-scoped errors (external interface down, unknown path
+        interface) mark the offending interface down for
+        ``down_interface_ttl_s``.  When the error arrives with a signed
+        ``revocation`` token and the pipeline is on,
+        :meth:`handle_revocation` takes over: the mark lasts the token's
+        full TTL, affected cached paths are evicted, and the token is
+        pushed upstream to the AS path server.  With
+        ``propagate_revocations`` off the token is ignored — the
+        pre-pipeline behaviour of short, per-host down reports.
+        """
+        interface_scoped = message.scmp_type is ScmpType.EXTERNAL_INTERFACE_DOWN or (
+            message.scmp_type is ScmpType.PARAMETER_PROBLEM
+            and message.code == CODE_UNKNOWN_PATH_INTERFACE
+        )
+        if not interface_scoped or not message.origin_ia or not message.info:
+            return
+        self.stats.scmp_interface_down += 1
+        if revocation is not None and self.propagate_revocations:
+            self.handle_revocation(revocation, now=now)
+            return
+        self._mark_down(
+            f"{message.origin_ia}#{message.info}",
+            now + self.down_interface_ttl_s,
+        )
+
+    def handle_revocation(self, revocation: Revocation, now: float = 0.0) -> None:
+        """Ingest a revocation: mark, evict, and push upstream.
+
+        The daemon holds the quarantine for the token's own lifetime (not
+        the short unsigned-report TTL), drops every cached path crossing
+        the revoked interface, and — with ``propagate_revocations`` — hands
+        the token to the AS's path server so *every* host behind it stops
+        being served the dead paths.
+        """
+        if not revocation.active(now):
+            return
+        self.stats.revocations_received += 1
+        self._mark_down(revocation.key, revocation.expires_at())
+        self._evict_paths_over(revocation.key)
+        if self.propagate_revocations:
+            path_server = self._path_server()
+            if path_server is not None:
+                path_server.revoke(revocation, now=now)
+                self.stats.revocations_pushed += 1
+
+    def _mark_down(self, key: str, until: float) -> None:
+        """Mark an interface down; repeated reports only ever extend."""
+        self._down_interfaces[key] = max(
+            self._down_interfaces.get(key, 0.0), until
+        )
+
+    def _evict_paths_over(self, key: str) -> int:
+        """Drop cached paths crossing a revoked interface."""
+        evicted = 0
+        for dst, (fetched_at, metas) in list(self._cache.items()):
+            kept = [meta for meta in metas if key not in meta.interfaces]
+            if len(kept) == len(metas):
+                continue
+            evicted += len(metas) - len(kept)
+            if kept:
+                self._cache[dst] = (fetched_at, kept)
+            else:
+                del self._cache[dst]
+        self.stats.paths_evicted += evicted
+        return evicted
+
+    def _path_server(self):
+        service = self.network.services.get(self.ia)
+        return service.path_server if service is not None else None
+
+    def _pull_revocations(self, now: float) -> None:
+        """Learn revocations the AS path server accepted from other hosts."""
+        if not self.propagate_revocations:
+            return
+        path_server = self._path_server()
+        if path_server is None:
+            return
+        for rev in path_server.active_revocations(now):
+            if self._down_interfaces.get(rev.key, 0.0) < rev.expires_at():
+                self._mark_down(rev.key, rev.expires_at())
+                self._evict_paths_over(rev.key)
+                self.stats.revocations_pulled += 1
 
     def _expire_down_interfaces(self, now: float) -> None:
         expired = [

@@ -31,7 +31,7 @@ from repro.scion.dataplane.underlay import IntraAsNetwork
 from repro.scion.network import ScionNetwork
 from repro.scion.packet import ScionPacket, UnderlayFrame
 from repro.scion.path import PathMeta
-from repro.scion.scmp import interface_down
+from repro.scion.revocation import Revocation
 
 
 class PanError(Exception):
@@ -74,6 +74,9 @@ class SendResult:
     failure: str = ""
     reply: Optional[bytes] = None
     paths_tried: int = 0
+    #: Revocation minted by the failing router for interface-scoped
+    #: failures — lets the caller skip *every* path over the dead link.
+    revocation: Optional[Revocation] = None
 
     def __bool__(self) -> bool:
         return self.success
@@ -179,6 +182,21 @@ class PanContext:
             self._own_cache[dst] = cached
         return list(cached)
 
+    def evict_revoked(self, revocation: Revocation) -> int:
+        """Drop library-cached paths over a revoked interface.
+
+        Daemonless modes have no sciond to hold down-interface state, so
+        the revocation is applied straight to the in-app path cache.
+        """
+        evicted = 0
+        for dst, metas in list(self._own_cache.items()):
+            kept = [m for m in metas if revocation.key not in m.interfaces]
+            if len(kept) == len(metas):
+                continue
+            evicted += len(metas) - len(kept)
+            self._own_cache[dst] = kept
+        return evicted
+
     def select_path(
         self, dst: IA, policy: Optional[PathPolicy] = None, now: float = 0.0
     ) -> PathMeta:
@@ -262,11 +280,13 @@ class ScionSocket:
         the around-the-globe ones), and giving up early would defeat the
         multipath story.
 
-        Failover is SCMP-triggered and instant (Section 4.7): a link-down
-        probe failure feeds the router's interface-down report to the
-        host's daemon, and every queued candidate crossing that interface
-        is skipped *before any re-lookup* — the next send goes straight to
-        the first cached path that avoids the dead interface."""
+        Failover is SCMP-triggered and instant (Section 4.7): an
+        interface-scoped probe failure feeds the router's SCMP error — and
+        the signed revocation minted from it — to the host's daemon, and
+        every queued candidate crossing the revoked interface is skipped
+        *before any re-lookup*.  Without a daemon the revocation is
+        consumed directly: the library's own cache is evicted and the queue
+        filtered, so all paths over the dead link die in one step."""
         if dst.ia == self.host.ia:
             return self._deliver_local(dst, payload, now)
         queue = (policy or self.context.default_policy).order(
@@ -283,11 +303,17 @@ class ScionSocket:
             if result.success:
                 return result
             last = result
+            skip = set()
             daemon = self.host.daemon
             if daemon is not None and daemon.down_interfaces:
-                down = set(daemon.down_interfaces)
+                skip.update(daemon.down_interfaces)
+            if result.revocation is not None:
+                skip.add(result.revocation.key)
+                if daemon is None:
+                    self.context.evict_revoked(result.revocation)
+            if skip:
                 queue = [
-                    m for m in queue if not down.intersection(m.interfaces)
+                    m for m in queue if not skip.intersection(m.interfaces)
                 ]
         return last
 
@@ -307,7 +333,8 @@ class ScionSocket:
             if report_scmp:
                 self._report_probe_failure(probe, now)
             return SendResult(
-                False, failure=probe.failure, path=meta, paths_tried=paths_tried
+                False, failure=probe.failure, path=meta,
+                paths_tried=paths_tried, revocation=probe.revocation,
             )
         dst_host = self.host.registry.lookup(dst.ia, dst.host)
         if dst_host is None:
@@ -335,22 +362,17 @@ class ScionSocket:
         )
 
     def _report_probe_failure(self, probe, now: float) -> None:
-        """Feed a router's SCMP interface-down error to the local daemon.
+        """Feed a router's SCMP error (and revocation) to the local daemon.
 
         In the real stack the router on the failing path emits the SCMP
         error back to the source host; here the probe result carries the
-        same (origin AS, egress interface) pair.
+        message itself — for *every* interface-scoped failure (link down,
+        interface marked down, unknown interface), not just link-down.
         """
         daemon = self.host.daemon
-        if (
-            daemon is not None
-            and probe.failure == "link-down"
-            and probe.failed_at is not None
-            and probe.failed_ifid is not None
-        ):
+        if daemon is not None and probe.scmp is not None:
             daemon.handle_scmp(
-                interface_down(str(probe.failed_at), probe.failed_ifid),
-                now=now,
+                probe.scmp, now=now, revocation=probe.revocation
             )
 
     def _deliver_local(self, dst: HostAddr, payload: bytes, now: float) -> SendResult:

@@ -59,6 +59,8 @@ EXPERIMENTS: Dict[str, Tuple[str, str]] = {
               "Resilience under injected faults (Sections 4.7/5.4)"),
     "control_chaos": ("repro.experiments.control_chaos",
                       "Control-plane self-healing under chaos (Section 5.4)"),
+    "revocation_storm": ("repro.experiments.revocation_storm",
+                         "Revocation pipeline vs per-host rediscovery"),
 }
 
 

@@ -13,10 +13,11 @@ end-host bootstrapping and first-connection timing (Figure 4) depend on it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.scion.addr import IA
 from repro.scion.control.segments import Beacon, SegmentType
+from repro.scion.revocation import Revocation, segment_crosses
 
 
 class PathServerError(Exception):
@@ -29,6 +30,17 @@ class RegistryStats:
     lookups: int = 0
     cache_hits: int = 0
     purged_expired: int = 0
+    #: Revocations accepted into the quarantine table.
+    revocations_received: int = 0
+    #: Revocations dropped because signature verification failed.
+    revocations_rejected: int = 0
+    #: Revocations lazily purged after their TTL ran out.
+    revocations_expired: int = 0
+    #: Revocations cleared early by a re-validating beacon (a fresh segment
+    #: crossing the revoked interface proves the link is alive again).
+    revocations_cleared_by_beacon: int = 0
+    #: Cumulative registered segments put behind a revocation at revoke time.
+    segments_quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -49,6 +61,11 @@ class SegmentRegistry:
         self._down: Dict[IA, Dict[str, Beacon]] = {}
         #: (origin core, terminal core) -> core segments
         self._core: Dict[Tuple[IA, IA], Dict[str, Beacon]] = {}
+        #: revoked interface key ("IA#ifid") -> the revocation.  Segments
+        #: crossing a revoked interface stay registered but are *quarantined*
+        #: — filtered out of lookups — until the revocation expires or a
+        #: fresh beacon re-validates the interface.
+        self._revocations: Dict[str, Revocation] = {}
         self.stats = RegistryStats()
         self._version = 0
 
@@ -66,6 +83,7 @@ class SegmentRegistry:
         leaf = segment.terminal_ia
         bucket = self._down.setdefault(leaf, {})
         bucket[segment.interface_fingerprint()] = segment
+        self._revalidate_from(segment)
         self.stats.registrations += 1
         self._version += 1
 
@@ -76,8 +94,103 @@ class SegmentRegistry:
         key = (segment.origin_ia, segment.terminal_ia)
         bucket = self._core.setdefault(key, {})
         bucket[segment.interface_fingerprint()] = segment
+        self._revalidate_from(segment)
         self.stats.registrations += 1
         self._version += 1
+
+    def _revalidate_from(self, segment: Beacon) -> None:
+        """Clear revocations a freshly built beacon disproves.
+
+        A beacon constructed *after* a revocation was issued that crosses
+        the revoked interface is proof the interface carries traffic again,
+        so the quarantine is lifted early.
+        """
+        if not self._revocations:
+            return
+        cleared = [
+            key for key, rev in self._revocations.items()
+            if segment.timestamp > rev.issued_at
+            and segment_crosses(segment, rev.ia, rev.ifid)
+        ]
+        for key in cleared:
+            del self._revocations[key]
+        self.stats.revocations_cleared_by_beacon += len(cleared)
+        # No version bump needed here: every caller registers (bumping) next.
+
+    # -- revocations -------------------------------------------------------------
+
+    def revoke(self, revocation: Revocation) -> int:
+        """Quarantine every registered segment crossing the revoked interface.
+
+        Segments are *not* deleted — they reappear when the revocation
+        expires (TTL) or is cleared by a re-validating beacon.  A repeat
+        revocation for the same interface keeps whichever expires later.
+        Returns how many currently registered segments the revocation put
+        behind quarantine.
+        """
+        if self.covers(revocation):
+            return 0
+        self._revocations[revocation.key] = revocation
+        self.stats.revocations_received += 1
+        quarantined = sum(
+            1
+            for bucket in list(self._down.values()) + list(self._core.values())
+            for seg in bucket.values()
+            if segment_crosses(seg, revocation.ia, revocation.ifid)
+        )
+        self.stats.segments_quarantined += quarantined
+        self._version += 1
+        return quarantined
+
+    def covers(self, revocation: Revocation) -> bool:
+        """Is an equal-or-longer-lived revocation for this key already held?"""
+        existing = self._revocations.get(revocation.key)
+        return (
+            existing is not None
+            and existing.expires_at() >= revocation.expires_at()
+        )
+
+    def is_revoked(self, segment: Beacon) -> bool:
+        """Is this segment currently behind quarantine?"""
+        if not self._revocations:
+            return False
+        return any(
+            segment_crosses(segment, rev.ia, rev.ifid)
+            for rev in self._revocations.values()
+        )
+
+    def active_revocations(self, now: Optional[float] = None) -> List[Revocation]:
+        if now is not None:
+            self._purge_expired_revocations(now)
+        return sorted(self._revocations.values(), key=lambda rev: rev.key)
+
+    def quarantined_count(self) -> int:
+        """How many registered segments are currently filtered from lookups."""
+        if not self._revocations:
+            return 0
+        return sum(
+            1
+            for table in (self._down, self._core)
+            for bucket in table.values()
+            for seg in bucket.values()
+            if self.is_revoked(seg)
+        )
+
+    def _purge_expired_revocations(self, now: float) -> int:
+        """Lazily drop revocations past their TTL (quarantine lifts).
+
+        Bumps the registry version so versioned caches recompute and the
+        formerly quarantined segments become servable again.
+        """
+        expired = [
+            key for key, rev in self._revocations.items() if not rev.active(now)
+        ]
+        for key in expired:
+            del self._revocations[key]
+        if expired:
+            self._version += 1
+        self.stats.revocations_expired += len(expired)
+        return len(expired)
 
     # -- expiry -----------------------------------------------------------------
 
@@ -85,8 +198,10 @@ class SegmentRegistry:
         """Drop every registered segment past its expiry.
 
         Bumps the registry version when anything goes, so versioned local
-        caches can no longer serve the purged segments.
+        caches can no longer serve the purged segments.  Expired
+        revocations are purged on the same clock, lifting their quarantine.
         """
+        self._purge_expired_revocations(now)
         purged = 0
         for table in (self._down, self._core):
             for key in list(table):
@@ -110,7 +225,10 @@ class SegmentRegistry:
         if now is not None:
             self.purge_expired(now)
         self.stats.lookups += 1
-        return list(self._down.get(dst, {}).values())
+        return [
+            seg for seg in self._down.get(dst, {}).values()
+            if not self.is_revoked(seg)
+        ]
 
     def core_segments(
         self, origin: Optional[IA] = None, terminal: Optional[IA] = None,
@@ -127,7 +245,7 @@ class SegmentRegistry:
                 continue
             if terminal is not None and seg_terminal != terminal:
                 continue
-            out.extend(bucket.values())
+            out.extend(seg for seg in bucket.values() if not self.is_revoked(seg))
         return out
 
     def core_ases_with_down_segments(self, dst: IA) -> List[IA]:
@@ -137,17 +255,19 @@ class SegmentRegistry:
     # -- crash/restart support ---------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """A restorable copy of all registered segments."""
+        """A restorable copy of all registered segments and revocations."""
         return {
             "down": {leaf: dict(bucket) for leaf, bucket in self._down.items()},
             "core": {key: dict(bucket) for key, bucket in self._core.items()},
+            "revocations": dict(self._revocations),
         }
 
     def restore(self, snapshot: Dict[str, object]) -> None:
         """Replace the contents with a snapshot (warm restart).
 
         Bumps the version so local path-server caches built against the
-        pre-restore state are invalidated.
+        pre-restore state are invalidated.  Pre-revocation snapshots (no
+        ``revocations`` key) restore with an empty quarantine table.
         """
         self._down = {
             leaf: dict(bucket)
@@ -157,12 +277,16 @@ class SegmentRegistry:
             key: dict(bucket)
             for key, bucket in snapshot["core"].items()  # type: ignore[union-attr]
         }
+        self._revocations = dict(snapshot.get("revocations", {}))  # type: ignore[arg-type]
         self._version += 1
 
     def clear(self) -> None:
-        """Drop every registered segment (crash / cold restart)."""
+        """Drop every registered segment and revocation (crash / cold
+        restart) — which is exactly why the supervisor replays its
+        revocation ledger after restarting a control service."""
         self._down = {}
         self._core = {}
+        self._revocations = {}
         self._version += 1
 
 
@@ -184,11 +308,20 @@ class LocalPathServer:
         registry: SegmentRegistry,
         core_rtt_s: float = 0.020,
         remote_isd_rtt_s: float = 0.080,
+        revocation_verifier: Optional[Callable[[Revocation], bool]] = None,
     ):
         self.ia = ia
         self.registry = registry
         self.core_rtt_s = core_rtt_s
         self.remote_isd_rtt_s = remote_isd_rtt_s
+        #: Checks a revocation's signature against the revoking AS's public
+        #: key (wired by ScionNetwork).  When set, unverifiable revocations
+        #: are rejected — anyone can *claim* an interface died; only the AS
+        #: that owns it can say so authoritatively.
+        self.revocation_verifier = revocation_verifier
+        #: Called with every accepted revocation — the supervisor hangs its
+        #: replay ledger here.
+        self.on_revocation: Optional[Callable[[Revocation], None]] = None
         self._up: Dict[str, Beacon] = {}
         #: dst -> (snapshot version, up, core, down); entries whose snapshot
         #: version trails the current state are stale and recomputed.
@@ -211,10 +344,49 @@ class LocalPathServer:
 
     @property
     def up_segments(self) -> List[Beacon]:
-        return list(self._up.values())
+        """Registered up segments, minus any behind an active quarantine.
+
+        Revocation state lives in the shared registry, so one accepted
+        revocation quarantines up segments in *every* AS's local server.
+        """
+        return [
+            seg for seg in self._up.values()
+            if not self.registry.is_revoked(seg)
+        ]
 
     def invalidate_cache(self) -> None:
         self._cache.clear()
+
+    # -- revocations -------------------------------------------------------------
+
+    def revoke(self, revocation: Revocation, now: Optional[float] = None) -> int:
+        """Accept a revocation (after signature verification) and quarantine.
+
+        Returns how many registered segments went behind quarantine; 0 when
+        the token fails verification or is already expired.  Accepted
+        revocations flow to the :attr:`on_revocation` hook so a supervisor
+        can replay them into a restarted server.
+        """
+        if now is not None and not revocation.active(now):
+            return 0
+        if self.revocation_verifier is not None and not self.revocation_verifier(
+            revocation
+        ):
+            self.registry.stats.revocations_rejected += 1
+            return 0
+        if self.registry.covers(revocation):
+            return 0
+        quarantined = self.registry.revoke(revocation)
+        quarantined += sum(
+            1 for seg in self._up.values()
+            if segment_crosses(seg, revocation.ia, revocation.ifid)
+        )
+        if self.on_revocation is not None:
+            self.on_revocation(revocation)
+        return quarantined
+
+    def active_revocations(self, now: Optional[float] = None) -> List[Revocation]:
+        return self.registry.active_revocations(now)
 
     # -- crash/restart support -------------------------------------------------
 

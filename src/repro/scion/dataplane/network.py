@@ -13,14 +13,26 @@ Two modes share the same router decision logic:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from repro.netsim.simulator import Simulator
 from repro.scion.addr import IA
 from repro.scion.crypto.keys import SymmetricKey
-from repro.scion.dataplane.router import BorderRouter, RouterDecision, Verdict
+from repro.scion.crypto.rsa import RsaKeyPair
+from repro.scion.dataplane.router import BorderRouter, Verdict
 from repro.scion.packet import ScionPacket
-from repro.scion.path import DataplanePath, HopRecord, oriented_interfaces
+from repro.scion.path import DataplanePath, oriented_interfaces
+from repro.scion.revocation import (
+    DEFAULT_REVOCATION_TTL_S,
+    Revocation,
+    revocation_from_scmp,
+)
+from repro.scion.scmp import (
+    ScmpMessage,
+    interface_down,
+    path_expired,
+    unknown_path_interface,
+)
 from repro.scion.topology import GlobalTopology
 
 
@@ -44,6 +56,14 @@ class PathAnalysis:
 
 
 @dataclass(frozen=True)
+class DropLocation:
+    """Where a packet died: the AS, and the egress ifid when attributable."""
+
+    ia: Optional[IA] = None
+    ifid: int = 0
+
+
+@dataclass(frozen=True)
 class ProbeResult:
     """Outcome of walking one path."""
 
@@ -52,9 +72,18 @@ class ProbeResult:
     one_way_s: float = 0.0
     failure: str = ""
     failed_at: Optional[IA] = None
-    #: egress interface id at ``failed_at`` for link-down failures — what a
-    #: router would put in its SCMP external-interface-down error.
+    #: egress interface id at ``failed_at`` for interface-scoped failures
+    #: (link down, interface marked down, unknown interface) — what a
+    #: router would put in its SCMP error.
     failed_ifid: Optional[int] = None
+    #: The SCMP error a real router would route back to the source, when
+    #: the failure maps to one (interface-down, unknown interface, path
+    #: expired). Loss and congestion produce no SCMP — by design they stay
+    #: indistinguishable from slow delivery.
+    scmp: Optional[ScmpMessage] = None
+    #: Revocation minted from ``scmp`` when it is interface-scoped, signed
+    #: by the failing AS if its signing key is known to the dataplane.
+    revocation: Optional[Revocation] = None
 
     def __bool__(self) -> bool:
         return self.success
@@ -72,6 +101,8 @@ class ScionDataplane:
         topology: GlobalTopology,
         forwarding_keys: Dict[IA, SymmetricKey],
         router_processing_s: float = ROUTER_PROCESSING_S,
+        signing_keys: Optional[Dict[IA, RsaKeyPair]] = None,
+        revocation_ttl_s: float = DEFAULT_REVOCATION_TTL_S,
     ):
         self.topology = topology
         self.routers: Dict[IA, BorderRouter] = {
@@ -79,6 +110,45 @@ class ScionDataplane:
             for ia, topo in topology.ases.items()
         }
         self.router_processing_s = router_processing_s
+        #: AS signing keys (the beaconing keys): when present, revocations
+        #: minted for that AS's interfaces are signed so path servers in
+        #: other ASes can verify them.
+        self.signing_keys: Dict[IA, RsaKeyPair] = dict(signing_keys or {})
+        self.revocation_ttl_s = revocation_ttl_s
+
+    def revocation_for(
+        self, scmp: ScmpMessage, now: float
+    ) -> Optional[Revocation]:
+        """Mint the revocation matching an interface-scoped SCMP error.
+
+        Signed by the originating AS when its signing key is registered;
+        returns None for SCMP messages that are not interface-scoped.
+        """
+        rev = revocation_from_scmp(scmp, now, ttl_s=self.revocation_ttl_s)
+        if rev is None:
+            return None
+        key = self.signing_keys.get(rev.ia)
+        if key is not None:
+            rev = rev.signed_by(key)
+        return rev
+
+    def apply_revocation(self, revocation: Revocation) -> bool:
+        """Mark the revoked egress interface down at its border router.
+
+        Models the revoking AS's own routers honoring the revocation (so
+        stale paths die at the first hop inside that AS, not deep in the
+        network). Returns False when the AS is not simulated here.
+        """
+        router = self.routers.get(revocation.ia)
+        if router is None:
+            return False
+        router.mark_interface_down(revocation.ifid)
+        return True
+
+    def lift_revocation(self, revocation: Revocation) -> None:
+        router = self.routers.get(revocation.ia)
+        if router is not None:
+            router.mark_interface_up(revocation.ifid)
 
     # -- analytic walk -----------------------------------------------------------
 
@@ -107,18 +177,18 @@ class ScionDataplane:
                 arrival_ifid = None
                 continue
             if decision.verdict is not Verdict.FORWARD:
-                return ProbeResult(
-                    False, failure=decision.verdict.value, failed_at=record.hop.ia
-                )
+                return self._verdict_result(decision, record.hop.ia, now)
             link = self.topology.link_between(record.hop.ia, decision.egress_ifid)
             if link is None:
                 return ProbeResult(
                     False, failure="no-link", failed_at=record.hop.ia
                 )
             if not link.up:
+                scmp = interface_down(str(record.hop.ia), decision.egress_ifid)
                 return ProbeResult(
                     False, failure="link-down", failed_at=record.hop.ia,
                     failed_ifid=decision.egress_ifid,
+                    scmp=scmp, revocation=self.revocation_for(scmp, now),
                 )
             iface = self.topology.get(record.hop.ia).interfaces[decision.egress_ifid]
             if next_record is None or next_record.hop.ia != iface.remote_ia:
@@ -129,6 +199,30 @@ class ScionDataplane:
             arrival_ifid = iface.remote_ifid
             index += 1
         return ProbeResult(False, failure="fell-off-path")
+
+    @staticmethod
+    def _scmp_for_verdict(decision, ia: IA) -> Optional[ScmpMessage]:
+        """The SCMP error a router emits for a drop verdict, if any."""
+        if decision.verdict is Verdict.DROP_EXPIRED:
+            return path_expired(str(ia))
+        if decision.verdict is Verdict.DROP_INTERFACE_DOWN:
+            return interface_down(str(ia), decision.egress_ifid)
+        if decision.verdict is Verdict.DROP_NO_INTERFACE and decision.egress_ifid:
+            return unknown_path_interface(str(ia), decision.egress_ifid)
+        return None
+
+    def _verdict_result(self, decision, ia: IA, now: float) -> ProbeResult:
+        """A failed ProbeResult carrying the SCMP error the verdict implies."""
+        scmp = self._scmp_for_verdict(decision, ia)
+        interface_scoped = decision.verdict in (
+            Verdict.DROP_INTERFACE_DOWN, Verdict.DROP_NO_INTERFACE
+        )
+        revocation = self.revocation_for(scmp, now) if scmp is not None else None
+        return ProbeResult(
+            False, failure=decision.verdict.value, failed_at=ia,
+            failed_ifid=(decision.egress_ifid or None) if interface_scoped else None,
+            scmp=scmp, revocation=revocation,
+        )
 
     def analyze(self, path: DataplanePath, now: float) -> PathAnalysis:
         """One-time static analysis: verify MACs and collect the links.
@@ -220,10 +314,18 @@ class ScionDataplane:
         sim: Simulator,
         packet: ScionPacket,
         on_delivered: Callable[[ScionPacket], None],
-        on_dropped: Optional[Callable[[ScionPacket, str], None]] = None,
+        on_dropped: Optional[Callable[[ScionPacket, str, DropLocation], None]] = None,
+        on_scmp: Optional[Callable[[ScionPacket, ScmpMessage], None]] = None,
     ) -> None:
-        """Deliver a packet hop by hop through the event simulator."""
-        self._hop(sim, packet, None, on_delivered, on_dropped)
+        """Deliver a packet hop by hop through the event simulator.
+
+        ``on_dropped`` receives the drop reason plus the :class:`DropLocation`
+        (AS and egress ifid when attributable).  ``on_scmp`` receives the
+        SCMP error the dropping router routes back to the source, for drops
+        that produce one — queue overflows and chaos loss do not, so the
+        source cannot mistake congestion for a dead link.
+        """
+        self._hop(sim, packet, None, on_delivered, on_dropped, on_scmp)
 
     def _hop(
         self,
@@ -231,11 +333,15 @@ class ScionDataplane:
         packet: ScionPacket,
         arrival_ifid: Optional[int],
         on_delivered: Callable[[ScionPacket], None],
-        on_dropped: Optional[Callable[[ScionPacket, str], None]],
+        on_dropped: Optional[Callable[[ScionPacket, str, DropLocation], None]],
+        on_scmp: Optional[Callable[[ScionPacket, ScmpMessage], None]] = None,
     ) -> None:
         records = packet.path.forwarding_plan()
         if not (0 <= packet.curr_hop < len(records)):
-            self._drop(packet, "hop-pointer-out-of-range", on_dropped)
+            self._drop(
+                packet, "hop-pointer-out-of-range", DropLocation(),
+                on_dropped, on_scmp,
+            )
             return
         record = records[packet.curr_hop]
         next_record = (
@@ -244,7 +350,10 @@ class ScionDataplane:
         )
         router = self.routers.get(record.hop.ia)
         if router is None:
-            self._drop(packet, "unknown-as", on_dropped)
+            self._drop(
+                packet, "unknown-as", DropLocation(ia=record.hop.ia),
+                on_dropped, on_scmp,
+            )
             return
         decision = router.decide(record, next_record, arrival_ifid, sim.now)
         if decision.verdict is Verdict.DELIVER:
@@ -254,33 +363,61 @@ class ScionDataplane:
             packet.advance()
             sim.schedule(
                 self.router_processing_s,
-                self._hop, sim, packet, None, on_delivered, on_dropped,
+                self._hop, sim, packet, None, on_delivered, on_dropped, on_scmp,
             )
             return
         if decision.verdict is not Verdict.FORWARD:
-            self._drop(packet, decision.verdict.value, on_dropped)
+            location = DropLocation(ia=record.hop.ia, ifid=decision.egress_ifid)
+            self._drop(
+                packet, decision.verdict.value, location, on_dropped, on_scmp,
+                scmp=self._scmp_for_verdict(decision, record.hop.ia),
+            )
             return
-        link = self.topology.link_between(record.hop.ia, decision.egress_ifid)
+        egress = decision.egress_ifid
+        location = DropLocation(ia=record.hop.ia, ifid=egress)
+        link = self.topology.link_between(record.hop.ia, egress)
         if link is None:
-            self._drop(packet, "no-link", on_dropped)
+            self._drop(packet, "no-link", location, on_dropped, on_scmp)
             return
-        iface = self.topology.get(record.hop.ia).interfaces[decision.egress_ifid]
+        if not router.try_enqueue(egress):
+            # Bounded egress queue overflow: congestion, not failure.
+            # Deliberately no SCMP — a loaded router sheds load silently.
+            self._drop(
+                packet, Verdict.DROP_QUEUE_FULL.value, location,
+                on_dropped, on_scmp,
+            )
+            return
+        iface = self.topology.get(record.hop.ia).interfaces[egress]
         packet.advance()
-        link.transmit(
-            sim,
-            str(record.hop.ia),
-            packet.size_bytes(),
-            deliver=lambda: self._hop(
-                sim, packet, iface.remote_ifid, on_delivered, on_dropped
-            ),
-            drop=lambda reason: self._drop(packet, reason, on_dropped),
-        )
+
+        def deliver() -> None:
+            router.release(egress)
+            self._hop(sim, packet, iface.remote_ifid, on_delivered,
+                      on_dropped, on_scmp)
+
+        def drop(reason: str) -> None:
+            router.release(egress)
+            # Only a down link is a router-attributable failure; chaos loss
+            # and corruption vanish without an error message.
+            scmp = (
+                interface_down(str(location.ia), egress)
+                if reason == "link-down" else None
+            )
+            self._drop(packet, reason, location, on_dropped, on_scmp, scmp)
+
+        link.transmit(sim, str(record.hop.ia), packet.size_bytes(),
+                      deliver=deliver, drop=drop)
 
     @staticmethod
     def _drop(
         packet: ScionPacket,
         reason: str,
-        on_dropped: Optional[Callable[[ScionPacket, str], None]],
+        location: DropLocation,
+        on_dropped: Optional[Callable[[ScionPacket, str, DropLocation], None]],
+        on_scmp: Optional[Callable[[ScionPacket, ScmpMessage], None]] = None,
+        scmp: Optional[ScmpMessage] = None,
     ) -> None:
         if on_dropped is not None:
-            on_dropped(packet, reason)
+            on_dropped(packet, reason, location)
+        if scmp is not None and on_scmp is not None:
+            on_scmp(packet, scmp)

@@ -10,17 +10,26 @@ decision logic; actual movement across links is done by
 Routers come in two interoperable flavors ("open-source" and "anapaya",
 Section 4.5) that share this wire behaviour; the flavor is carried for
 heterogeneity accounting only.
+
+Two robustness pieces live here as well:
+
+* a **bounded per-interface egress queue** (``queue_capacity``): a router
+  under overload sheds packets with ``DROP_QUEUE_FULL`` instead of
+  queueing unboundedly, so congestion stays distinguishable from failure
+  (queue drops never produce interface-down SCMP errors or revocations);
+* **local interface state**: interfaces an operator or revocation marked
+  down produce ``DROP_INTERFACE_DOWN`` with the offending egress attached,
+  which the dataplane converts into the SCMP error a real router emits.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Set
 
 from repro.scion.addr import IA
 from repro.scion.crypto.keys import SymmetricKey
-from repro.scion.packet import ScionPacket
 from repro.scion.path import HopRecord, oriented_interfaces
 from repro.scion.scmp import ScmpMessage, interface_down
 from repro.scion.topology import AsTopology
@@ -35,13 +44,29 @@ class Verdict(enum.Enum):
     DROP_NO_INTERFACE = "drop-no-interface"
     DROP_INTERFACE_DOWN = "drop-interface-down"
     DROP_WRONG_INGRESS = "drop-wrong-ingress"
+    DROP_QUEUE_FULL = "drop-queue-full"
 
 
 @dataclass(frozen=True)
 class RouterDecision:
     verdict: Verdict
+    #: Egress interface involved: the forwarding target for FORWARD, the
+    #: offending interface for interface-scoped drops (0 when unknown), so
+    #: callers can attribute the failure without re-deriving the hop.
     egress_ifid: int = 0
     scmp: Optional[ScmpMessage] = None
+
+
+@dataclass
+class RouterStats:
+    forwarded: int = 0
+    queue_drops: int = 0
+
+
+#: Default bound on each egress interface's in-flight queue.  Generous —
+#: only sustained overload (the dispatcher-style bottleneck experiments)
+#: should ever hit it.
+DEFAULT_QUEUE_CAPACITY = 64
 
 
 class BorderRouter:
@@ -52,11 +77,18 @@ class BorderRouter:
         topology: AsTopology,
         forwarding_key: SymmetricKey,
         flavor: Optional[str] = None,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
     ):
+        if queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
         self.topology = topology
         self.ia: IA = topology.ia
         self._key = forwarding_key
         self.flavor = flavor or topology.flavor
+        self.queue_capacity = queue_capacity
+        self.stats = RouterStats()
+        self._queue_depth: Dict[int, int] = {}
+        self._down_interfaces: Set[int] = set()
 
     def decide(
         self,
@@ -104,8 +136,48 @@ class BorderRouter:
             return RouterDecision(Verdict.DROP_NO_INTERFACE)
         iface = self.topology.interfaces.get(egress)
         if iface is None:
-            return RouterDecision(Verdict.DROP_NO_INTERFACE)
+            return RouterDecision(Verdict.DROP_NO_INTERFACE, egress_ifid=egress)
+        if egress in self._down_interfaces:
+            return RouterDecision(Verdict.DROP_INTERFACE_DOWN, egress_ifid=egress)
         return RouterDecision(Verdict.FORWARD, egress_ifid=egress)
+
+    # -- local interface state ---------------------------------------------------
+
+    def mark_interface_down(self, ifid: int) -> None:
+        """Locally mark an egress interface unusable (operator/revocation)."""
+        self._down_interfaces.add(ifid)
+
+    def mark_interface_up(self, ifid: int) -> None:
+        self._down_interfaces.discard(ifid)
+
+    @property
+    def down_interfaces(self) -> Set[int]:
+        return set(self._down_interfaces)
+
+    # -- egress queueing ----------------------------------------------------------
+
+    def try_enqueue(self, ifid: int) -> bool:
+        """Claim one slot in the egress queue for ``ifid``.
+
+        Returns False — and counts a queue drop — when the bounded queue is
+        already full; the caller must then drop with ``DROP_QUEUE_FULL``.
+        """
+        depth = self._queue_depth.get(ifid, 0)
+        if depth >= self.queue_capacity:
+            self.stats.queue_drops += 1
+            return False
+        self._queue_depth[ifid] = depth + 1
+        self.stats.forwarded += 1
+        return True
+
+    def release(self, ifid: int) -> None:
+        """Return one queue slot (the frame left the link, or was dropped)."""
+        depth = self._queue_depth.get(ifid, 0)
+        if depth > 0:
+            self._queue_depth[ifid] = depth - 1
+
+    def queue_depth(self, ifid: int) -> int:
+        return self._queue_depth.get(ifid, 0)
 
     def interface_down_scmp(self, ifid: int) -> ScmpMessage:
         return interface_down(str(self.ia), ifid)

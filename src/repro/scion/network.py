@@ -41,6 +41,7 @@ from repro.scion.crypto.trc import Trc
 from repro.scion.dataplane.network import ProbeResult, ScionDataplane
 from repro.scion.dataplane.router import BorderRouter
 from repro.scion.path import DataplanePath, PathMeta
+from repro.scion.revocation import DEFAULT_REVOCATION_TTL_S, Revocation
 from repro.scion.topology import GlobalTopology, LinkType, TopologyError
 
 
@@ -114,16 +115,23 @@ class ScionNetwork:
             ia: service.signing_key for ia, service in self.services.items()
         }
 
+        for service in self.services.values():
+            service.path_server.revocation_verifier = self.verify_revocation
+
         # 3-4. Beaconing and registration.
         self._path_cache: Dict[Tuple[IA, IA], List[PathMeta]] = {}
+        self._path_cache_version = self.registry.version
         self.beaconing: Optional[BeaconingEngine] = None
         if run_beaconing:
             self.run_beaconing(
                 k_propagate=k_propagate, verify_beacons=verify_beacons
             )
 
-        # 5. Data plane.
-        self.dataplane = ScionDataplane(topology, self.forwarding_keys)
+        # 5. Data plane — handed the AS signing keys so the SCMP errors it
+        # emits can be turned into *signed* revocations at the source AS.
+        self.dataplane = ScionDataplane(
+            topology, self.forwarding_keys, signing_keys=self.signing_keys
+        )
 
     # -- construction helpers ---------------------------------------------------
 
@@ -290,10 +298,16 @@ class ScionNetwork:
         self.beaconing = engine
         # Re-beaconing starts a fresh registration epoch: segments from a
         # previous run must not outlive the stores that produced them.
+        # Active revocations are NOT beacon-derived state, so they carry
+        # across the epoch; registering the fresh segments then clears
+        # exactly those a later-timestamped beacon disproves.
+        revocations = self.registry.active_revocations(now=verify_now)
         self.registry.clear()
         for service in self.services.values():
             service.path_server.clear()
         self._path_cache.clear()
+        for revocation in revocations:
+            self.registry.revoke(revocation)
         self._register_segments(engine, now=verify_now)
         return engine
 
@@ -322,6 +336,12 @@ class ScionNetwork:
         refresh: bool = False,
     ) -> List[PathMeta]:
         """All control-plane paths from ``src`` to ``dst`` with metadata."""
+        # Any registry mutation (registration, revocation, quarantine
+        # expiry) invalidates memoized combinations wholesale — a cached
+        # path over a quarantined segment must never be handed out.
+        if self._path_cache_version != self.registry.version:
+            self._path_cache.clear()
+            self._path_cache_version = self.registry.version
         key = (src, dst)
         if not refresh and key in self._path_cache:
             metas = self._path_cache[key]
@@ -424,9 +444,11 @@ class ScionNetwork:
         )
         for trust_material in self.isd_trust.values():
             service.trust_store.add_trc(trust_material.trc)
+        service.path_server.revocation_verifier = self.verify_revocation
         self.services[ia] = service
         self.forwarding_keys[ia] = service.forwarding_key
         self.signing_keys[ia] = service.signing_key
+        self.dataplane.signing_keys[ia] = service.signing_key
         self.dataplane.routers[ia] = BorderRouter(
             as_topo, service.forwarding_key
         )
@@ -439,10 +461,46 @@ class ScionNetwork:
         """Drop registered segments and caches before re-beaconing."""
         self.registry = SegmentRegistry()
         self._path_cache.clear()
+        self._path_cache_version = self.registry.version
         for service in self.services.values():
-            service.path_server = LocalPathServer(service.ia, self.registry)
+            service.path_server = LocalPathServer(
+                service.ia, self.registry,
+                revocation_verifier=self.verify_revocation,
+            )
 
     # -- operational hooks -----------------------------------------------------------
+
+    def verify_revocation(self, revocation: Revocation) -> bool:
+        """Check a revocation's signature against the revoking AS's key.
+
+        This is the verifier wired into every local path server: only the
+        AS that owns an interface can revoke it, using the same signing key
+        its beacons are verified with.
+        """
+        key = self.signing_keys.get(revocation.ia)
+        if key is None:
+            return False
+        return revocation.verify(key.public)
+
+    def revoke_interface(
+        self, ia: IA, ifid: int, now: float,
+        ttl_s: float = DEFAULT_REVOCATION_TTL_S,
+    ) -> Revocation:
+        """Operator-style revocation: sign, quarantine, and enforce.
+
+        Mints a signed revocation for ``(ia, ifid)``, feeds it to the
+        shared registry through ``ia``'s own path server, and marks the
+        interface down at ``ia``'s border router so in-flight use of stale
+        paths dies at the first hop.
+        """
+        if ia not in self.services:
+            raise TopologyError(f"cannot revoke interface of unknown AS {ia}")
+        revocation = Revocation(
+            ia=ia, ifid=ifid, issued_at=now, ttl_s=ttl_s
+        ).signed_by(self.signing_keys[ia])
+        self.services[ia].path_server.revoke(revocation, now=now)
+        self.dataplane.apply_revocation(revocation)
+        return revocation
 
     def flush_path_cache(self) -> None:
         """Drop memoized path combinations (control-plane state changed)."""

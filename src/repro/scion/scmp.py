@@ -18,8 +18,14 @@ class ScmpType(enum.Enum):
     ECHO_REQUEST = 128
     ECHO_REPLY = 129
     DESTINATION_UNREACHABLE = 1
+    PARAMETER_PROBLEM = 4
     EXTERNAL_INTERFACE_DOWN = 5
     INTERNAL_CONNECTIVITY_DOWN = 6
+
+
+#: PARAMETER_PROBLEM codes (subset of the SCION SCMP specification).
+CODE_PATH_EXPIRED = 1
+CODE_UNKNOWN_PATH_INTERFACE = 2
 
 
 _HEADER = struct.Struct("!BBHHQ")  # type, code, identifier, sequence, info
@@ -104,4 +110,23 @@ def echo_reply(request: ScmpMessage) -> ScmpMessage:
 def interface_down(origin_ia: str, ifid: int) -> ScmpMessage:
     return ScmpMessage(
         ScmpType.EXTERNAL_INTERFACE_DOWN, info=ifid, origin_ia=origin_ia
+    )
+
+
+def path_expired(origin_ia: str) -> ScmpMessage:
+    """The error a router emits when a hop field is past its expiry."""
+    return ScmpMessage(
+        ScmpType.PARAMETER_PROBLEM, code=CODE_PATH_EXPIRED, origin_ia=origin_ia
+    )
+
+
+def unknown_path_interface(origin_ia: str, ifid: int) -> ScmpMessage:
+    """The error for a hop field naming an interface the AS does not have.
+
+    ``info`` carries the offending interface id so end hosts can treat it
+    like an interface-down report (the path is unusable either way).
+    """
+    return ScmpMessage(
+        ScmpType.PARAMETER_PROBLEM, code=CODE_UNKNOWN_PATH_INTERFACE,
+        info=ifid, origin_ia=origin_ia,
     )

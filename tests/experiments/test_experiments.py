@@ -25,7 +25,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "fig3", "fig4", "sec52", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig10c", "sec56",
-            "dispatcher", "chaos", "control_chaos",
+            "dispatcher", "chaos", "control_chaos", "revocation_storm",
         }
 
     def test_unknown_experiment_rejected(self):

@@ -16,6 +16,11 @@ from repro.scion.dataplane.dispatcher import (
 )
 from repro.scion.dataplane.underlay import IntraAsNetwork, UnderlayError
 from repro.scion.packet import ScionPacket
+from repro.scion.scmp import (
+    CODE_PATH_EXPIRED,
+    CODE_UNKNOWN_PATH_INTERFACE,
+    ScmpType,
+)
 from repro.scion.path import (
     DataplanePath,
     HopField,
@@ -115,6 +120,114 @@ class TestProbeLinkState:
         assert result.rtt_s == pytest.approx(0.020, abs=0.002)
 
 
+class TestVerdictErrors:
+    """Drop verdicts carry the SCMP error a real router would emit, with
+    the failed interface attached for interface-scoped failures."""
+
+    def test_expired_path_reports_path_expired_scmp(self, diamond_network):
+        meta = diamond_network.paths(A, B)[0]
+        late = meta.path.min_expiry() + 1
+        result = diamond_network.dataplane.probe(meta.path, late)
+        assert result.failure == "drop-expired"
+        assert result.scmp.scmp_type is ScmpType.PARAMETER_PROBLEM
+        assert result.scmp.code == CODE_PATH_EXPIRED
+        # Expiry is not interface-scoped: no failed ifid, no revocation.
+        assert result.failed_ifid is None
+        assert result.revocation is None
+
+    def test_revoked_interface_reports_ifid_and_signed_revocation(
+        self, fresh_diamond_network
+    ):
+        net = fresh_diamond_network
+        meta = net.paths(A, B)[0]  # A -> C2 -> B via a-c2
+        (ia, ifid), _ = net.topology.link_attachments["a-c2"]
+        minted = net.revoke_interface(ia, ifid, now=float(net.timestamp))
+        result = net.probe(meta)
+        assert result.failure == "drop-interface-down"
+        assert result.failed_at == ia
+        assert result.failed_ifid == ifid
+        assert result.scmp.scmp_type is ScmpType.EXTERNAL_INTERFACE_DOWN
+        assert result.scmp.info == ifid
+        # The dataplane signs the revocation with the failing AS's key.
+        assert result.revocation is not None
+        assert result.revocation.key == minted.key
+        assert net.verify_revocation(result.revocation)
+
+    def test_unknown_interface_reports_ifid(self, fresh_diamond_network):
+        net = fresh_diamond_network
+        meta = net.paths(A, B)[0]
+        (ia, ifid), _ = net.topology.link_attachments["a-c2"]
+        # The AS reconfigured the interface away: the hop MAC still
+        # verifies, but the egress no longer exists.
+        del net.topology.get(ia).interfaces[ifid]
+        result = net.probe(meta)
+        assert result.failure == "drop-no-interface"
+        assert result.failed_at == ia
+        assert result.failed_ifid == ifid
+        assert result.scmp.scmp_type is ScmpType.PARAMETER_PROBLEM
+        assert result.scmp.code == CODE_UNKNOWN_PATH_INTERFACE
+        assert result.scmp.info == ifid
+        assert result.revocation is not None
+        assert result.revocation.key == f"{ia}#{ifid}"
+
+
+class TestEgressQueue:
+    def _packet(self, meta):
+        return ScionPacket(
+            src=HostAddr(A, "10.0.0.1", 4000),
+            dst=HostAddr(B, "10.0.0.2", 4001),
+            path=meta.path,
+            payload=b"ping",
+        )
+
+    def test_queue_overflow_drops_without_scmp(self, fresh_diamond_network):
+        net = fresh_diamond_network
+        sim = Simulator()
+        meta = net.paths(A, B)[0]
+        router = net.dataplane.routers[A]
+        # Fill every egress queue at A so the next packet overflows.
+        for ifid in router.topology.interfaces:
+            for _ in range(router.queue_capacity):
+                assert router.try_enqueue(ifid)
+        drops, scmps = [], []
+        net.dataplane.send(
+            sim, self._packet(meta),
+            on_delivered=lambda p: pytest.fail("should not deliver"),
+            on_dropped=lambda p, reason, loc: drops.append((reason, loc)),
+            on_scmp=lambda p, msg: scmps.append(msg),
+        )
+        sim.run_until_idle()
+        assert len(drops) == 1
+        reason, location = drops[0]
+        assert reason == "drop-queue-full"
+        assert location.ia == A and location.ifid > 0
+        # Congestion is not failure: no SCMP, so no revocation cascade.
+        assert scmps == []
+        assert router.stats.queue_drops == 1
+
+    def test_queue_slots_released_after_transmit(self, fresh_diamond_network):
+        net = fresh_diamond_network
+        sim = Simulator()
+        meta = net.paths(A, B)[0]
+        delivered = []
+        net.dataplane.send(
+            sim, self._packet(meta), on_delivered=delivered.append
+        )
+        sim.run_until_idle()
+        assert len(delivered) == 1
+        for router in net.dataplane.routers.values():
+            for ifid in router.topology.interfaces:
+                assert router.queue_depth(ifid) == 0
+
+    def test_queue_capacity_must_be_positive(self, fresh_diamond_network):
+        from repro.scion.dataplane.router import BorderRouter
+        net = fresh_diamond_network
+        with pytest.raises(ValueError):
+            BorderRouter(
+                net.topology.get(A), net.forwarding_keys[A], queue_capacity=0
+            )
+
+
 class TestEventDrivenDelivery:
     def test_packet_delivered_with_correct_latency(self, diamond_network):
         sim = Simulator()
@@ -140,6 +253,8 @@ class TestEventDrivenDelivery:
         meta = net.paths(A, B)[0]
         net.set_link_state("a-c2", False)
         drops = []
+        locations = []
+        scmps = []
         packet = ScionPacket(
             src=HostAddr(A, "10.0.0.1", 4000),
             dst=HostAddr(B, "10.0.0.2", 4001),
@@ -148,10 +263,21 @@ class TestEventDrivenDelivery:
         net.dataplane.send(
             sim, packet,
             on_delivered=lambda p: pytest.fail("should not deliver"),
-            on_dropped=lambda p, reason: drops.append(reason),
+            on_dropped=lambda p, reason, loc: (
+                drops.append(reason), locations.append(loc)
+            ),
+            on_scmp=lambda p, msg: scmps.append(msg),
         )
         sim.run_until_idle()
         assert drops == ["link-down"]
+        # The drop location names the AS and egress ifid where the packet died.
+        assert locations[0].ia == A
+        assert locations[0].ifid > 0
+        # The router routed an SCMP interface-down error back to the source.
+        assert len(scmps) == 1
+        assert scmps[0].scmp_type is ScmpType.EXTERNAL_INTERFACE_DOWN
+        assert scmps[0].origin_ia == str(A)
+        assert scmps[0].info == locations[0].ifid
 
     def test_reply_travels_back(self, diamond_network):
         sim = Simulator()
