@@ -1,0 +1,90 @@
+"""Benchmark: the zero-overhead-when-disabled telemetry guarantee.
+
+The instrumented hot paths guard every span/counter behind one
+``tel.enabled`` check against a shared no-op singleton.  This benchmark
+drives the same dataplane walk + path-lookup workload through a network
+built *without* telemetry and one built *with* it, and asserts the
+disabled mode stays within noise of — i.e. not meaningfully slower than —
+the fully-instrumented mode it skips.
+"""
+
+import time
+
+import pytest
+
+from repro.obs import NOOP_TELEMETRY, Telemetry
+from repro.scion.addr import IA
+from repro.scion.network import ScionNetwork
+from repro.scion.topology import GlobalTopology, LinkType
+
+A = IA.parse("71-100")
+B = IA.parse("71-200")
+
+WALKS = 300
+
+
+def _topology():
+    topo = GlobalTopology()
+    c1, c2 = IA.parse("71-1"), IA.parse("71-2")
+    topo.add_as(c1, is_core=True, name="core1")
+    topo.add_as(c2, is_core=True, name="core2")
+    topo.add_as(A, name="leafA")
+    topo.add_as(B, name="leafB")
+    topo.add_link(c1, c2, LinkType.CORE, 0.010, link_name="c1c2")
+    topo.add_link(A, c1, LinkType.PARENT, 0.005, link_name="a-c1")
+    topo.add_link(A, c2, LinkType.PARENT, 0.006, link_name="a-c2")
+    topo.add_link(B, c2, LinkType.PARENT, 0.004, link_name="b-c2")
+    return topo
+
+
+def _workload(network):
+    """The instrumented hot loop: repeated probes over a combined path."""
+    metas = network.paths(A, B, refresh=True)
+    path = metas[0].path
+    dataplane = network.dataplane
+    ok = 0
+    for i in range(WALKS):
+        if dataplane.walk(path, now=float(i)).success:
+            ok += 1
+    return ok
+
+
+def _time_workload(network, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        _workload(network)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="telemetry-overhead")
+def test_bench_walks_telemetry_disabled(benchmark):
+    network = ScionNetwork(_topology(), seed=7)
+    assert network.telemetry is NOOP_TELEMETRY
+    ok = benchmark(_workload, network)
+    assert ok == WALKS
+
+
+@pytest.mark.benchmark(group="telemetry-overhead")
+def test_bench_walks_telemetry_enabled(benchmark):
+    network = ScionNetwork(_topology(), seed=7, telemetry=Telemetry())
+    ok = benchmark(_workload, network)
+    assert ok == WALKS
+
+
+def test_disabled_mode_overhead_within_noise():
+    """Disabled telemetry must not cost more than the enabled mode it skips.
+
+    The tolerance (25%) absorbs scheduler noise on shared CI runners; the
+    guard it protects is one attribute load + branch per instrumentation
+    site, which sits far below it.
+    """
+    disabled = ScionNetwork(_topology(), seed=7)
+    enabled = ScionNetwork(_topology(), seed=7, telemetry=Telemetry())
+    # Warm both caches before timing.
+    _workload(disabled)
+    _workload(enabled)
+    t_disabled = _time_workload(disabled)
+    t_enabled = _time_workload(enabled)
+    assert t_disabled <= t_enabled * 1.25

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.netsim.simulator import Simulator
+from repro.obs import Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.network import ScionNetwork
 
@@ -45,6 +46,7 @@ class ConnectivityMonitor:
         probe_interval_s: float = 60.0,
         operator_emails: Optional[Dict[str, str]] = None,
         flap_damping_rounds: int = 1,
+        telemetry: Optional[Telemetry] = None,
     ):
         if probe_interval_s <= 0:
             raise ValueError("probe interval must be positive")
@@ -63,6 +65,28 @@ class ConnectivityMonitor:
         self._subscribers: List[Callable[[Alert], None]] = []
         self._timer = None
         self._stopped = False
+        tel = resolve(
+            telemetry if telemetry is not None
+            else getattr(network, "telemetry", None)
+        )
+        self._telemetry = tel
+        if tel.enabled:
+            # Alerts land in the unified timeline (deduplicated there) and
+            # the monitor's health shows up in the metrics export.
+            self.subscribe(tel.events.record_alert)
+            tel.metrics.register_collector(self._collect)
+
+    def _collect(self, metrics) -> None:
+        metrics.gauge(
+            "monitor_probes_sent", "Connectivity probes sent so far.",
+        ).set(float(self.probes_sent))
+        metrics.gauge(
+            "monitor_targets_down",
+            "Monitored ASes currently unreachable from the vantage.",
+        ).set(float(len(self._down)))
+        metrics.gauge(
+            "monitor_alerts_emitted", "Alerts emitted (pre-deduplication).",
+        ).set(float(len(self.alerts)))
 
     def subscribe(self, handler: Callable[[Alert], None]) -> None:
         self._subscribers.append(handler)

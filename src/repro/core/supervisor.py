@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.retry import RetryError, RetryPolicy
+from repro.obs import Telemetry, register_stats_collector, resolve
 from repro.scion.addr import IA
 from repro.scion.crypto.ca import DEFAULT_RENEWAL_FRACTION
 from repro.scion.network import ScionNetwork
@@ -152,6 +153,7 @@ class Supervisor:
         warm_restore_s: float = 0.05,
         renewal_fraction: float = DEFAULT_RENEWAL_FRACTION,
         event_sink: Optional[Callable[[float, str, str, str], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if check_interval_s <= 0:
             raise SupervisorError("check_interval_s must be positive")
@@ -166,8 +168,20 @@ class Supervisor:
         self.beacon_round_s = beacon_round_s
         self.warm_restore_s = warm_restore_s
         self.renewal_fraction = renewal_fraction
+        tel = resolve(
+            telemetry if telemetry is not None
+            else getattr(network, "telemetry", None)
+        )
+        self._telemetry = tel
+        if event_sink is None and tel.enabled:
+            # Lifecycle events flow into the unified timeline by default.
+            event_sink = tel.events.supervisor_sink()
         self.event_sink = event_sink
         self.stats = SupervisorStats()
+        if tel.enabled:
+            register_stats_collector(
+                tel.metrics, self.stats, prefix="supervisor"
+            )
         self.renewal_log: List[RenewalRecord] = []
         #: isd -> CA handle; swap in a chaos-wrapped proxy via set_ca().
         self.cas: Dict[int, Any] = {

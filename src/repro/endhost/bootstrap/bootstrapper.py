@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.retry import RetryPolicy
+from repro.obs import Telemetry, resolve
 from repro.endhost.bootstrap.hinting import (
     Hint,
     HintMechanism,
@@ -100,6 +101,7 @@ class Bootstrapper:
         now: float = 0.0,
         pinned_trcs: Optional[Sequence[Trc]] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if os_name not in OS_MODELS:
             raise BootstrapError(
@@ -116,6 +118,20 @@ class Bootstrapper:
         self.pinned_trcs = list(pinned_trcs or [])
         #: None = fail fast on the first error (the pre-chaos behaviour)
         self.retry_policy = retry_policy
+        tel = resolve(telemetry)
+        self._telemetry = tel
+        if tel.enabled:
+            self._attempt_counter = tel.metrics.counter(
+                "bootstrap_attempts_total", "Bootstrap pipeline attempts."
+            )
+            self._transient_counter = tel.metrics.counter(
+                "bootstrap_transient_failures_total",
+                "Transient bootstrap failures (outages, dead hints).",
+            )
+            self._latency_hist = tel.metrics.histogram(
+                "bootstrap_latency_seconds",
+                "End-to-end bootstrap latency (probes + fetch + backoff).",
+            )
 
     # -- step 1: hint discovery ---------------------------------------------------
 
@@ -243,6 +259,27 @@ class Bootstrapper:
         network advertises several.  All time spent (failed probes, failed
         fetches, backoff waits) lands in the result's latency fields.
         """
+        tel = self._telemetry
+        root = None
+        if tel.enabled:
+            root = tel.tracer.open("bootstrap.run", now=self.now,
+                                   client=self.client_ip or "host")
+        try:
+            result = self._bootstrap(root)
+        except BootstrapError as exc:
+            if root is not None:
+                tel.tracer.end(root, status="error")
+                root.attrs["error"] = str(exc)
+            raise
+        if root is not None:
+            tel.tracer.end(root, now=self.now + result.total_latency_s)
+            root.attrs["mechanism"] = result.mechanism.name
+            root.attrs["attempts"] = str(result.attempts)
+            self._latency_hist.observe(result.total_latency_s)
+        return result
+
+    def _bootstrap(self, root=None) -> BootstrapResult:
+        tel = self._telemetry
         schedule = self.retry_policy.schedule() if self.retry_policy else None
         failed_servers: Set[Tuple[str, int]] = set()
         hint_total = 0.0
@@ -252,6 +289,8 @@ class Bootstrapper:
         attempts = 0
         while True:
             attempts += 1
+            if tel.enabled:
+                self._attempt_counter.inc()
             hint: Optional[Hint] = None
             try:
                 hint, hint_latency, tried = self.discover_hint(
@@ -259,8 +298,21 @@ class Bootstrapper:
                 )
                 hint_total += hint_latency
                 tried_total += tried
+                if root is not None:
+                    tel.tracer.add(
+                        "bootstrap.hint", now=self.now + hint_total,
+                        parent=root, mechanism=hint.mechanism.name,
+                        tried=str(tried),
+                    )
                 document, trcs, config_latency = self.fetch_config(hint)
                 config_total += config_latency
+                if root is not None:
+                    tel.tracer.add(
+                        "bootstrap.fetch",
+                        now=self.now + hint_total + config_total + wait_total,
+                        parent=root,
+                        server=f"{hint.server_ip}:{hint.server_port}",
+                    )
                 return BootstrapResult(
                     topology=document,
                     trcs=tuple(trcs),
@@ -275,6 +327,14 @@ class Bootstrapper:
                     ),
                 )
             except TransientBootstrapError as exc:
+                if tel.enabled:
+                    self._transient_counter.inc()
+                if root is not None:
+                    tel.tracer.add(
+                        "bootstrap.transient-failure",
+                        now=self.now + hint_total + config_total + wait_total,
+                        parent=root, status="error", detail=str(exc),
+                    )
                 if hint is None:
                     # Discovery itself failed: every known hint points at a
                     # failed server. Wipe the exclusions so the next attempt

@@ -27,6 +27,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.obs import CounterBackedStats, Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.control.service import TrustStore
 from repro.scion.crypto.trc import Trc
@@ -36,10 +37,12 @@ from repro.scion.revocation import Revocation
 from repro.scion.scmp import CODE_UNKNOWN_PATH_INTERFACE, ScmpMessage, ScmpType
 
 
-@dataclass
-class DaemonStats:
+class DaemonStats(CounterBackedStats):
     """Lookup accounting. The invariant:
     ``lookups == cache_hits + fetches`` and ``stale_served <= failed_fetches``.
+
+    Fields are thin views over ``daemon_*_total`` counter families when
+    telemetry is enabled (labelled by the daemon's AS).
 
     lookups:
         Total :meth:`Daemon.lookup` calls.
@@ -69,17 +72,12 @@ class DaemonStats:
         Cached paths dropped because a revocation covered them.
     """
 
-    lookups: int = 0
-    cache_hits: int = 0
-    fetches: int = 0
-    refreshes: int = 0
-    failed_fetches: int = 0
-    stale_served: int = 0
-    scmp_interface_down: int = 0
-    revocations_received: int = 0
-    revocations_pushed: int = 0
-    revocations_pulled: int = 0
-    paths_evicted: int = 0
+    FIELDS = (
+        "lookups", "cache_hits", "fetches", "refreshes", "failed_fetches",
+        "stale_served", "scmp_interface_down", "revocations_received",
+        "revocations_pushed", "revocations_pulled", "paths_evicted",
+    )
+    PREFIX = "daemon"
 
 
 class Daemon:
@@ -93,6 +91,7 @@ class Daemon:
         down_interface_ttl_s: float = 60.0,
         fetch: Optional[Callable[[IA], List[PathMeta]]] = None,
         propagate_revocations: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.network = network
         self.ia = ia
@@ -102,7 +101,13 @@ class Daemon:
         #: hosts' revocations back during lookups. Off = the pre-pipeline
         #: behaviour (each host rediscovers dead links on its own).
         self.propagate_revocations = propagate_revocations
-        self.stats = DaemonStats()
+        #: Public: the PAN library roots its send traces off the daemon's
+        #: telemetry, so one failover shows up as one trace.
+        self.telemetry = resolve(telemetry)
+        self.stats = DaemonStats(
+            self.telemetry.metrics if self.telemetry.enabled else None,
+            labels={"as": str(ia)},
+        )
         self.trust_store = TrustStore()
         for isd in network.topology.isds():
             self.trust_store.add_trc(network.trc_for(isd))
@@ -121,27 +126,38 @@ class Daemon:
         "switching paths instantly" behaviour of Section 4.7.  A failed
         refresh serves the previous (expired) paths marked ``stale``.
         """
-        self.stats.lookups += 1
+        tel = self.telemetry
+        if not tel.enabled:
+            return self._lookup(dst, now)
+        with tel.tracer.span(
+            "daemon.lookup", now=now, host=str(self.ia), dst=str(dst)
+        ) as span:
+            paths = self._lookup(dst, now)
+            span.attrs["paths"] = str(len(paths))
+            return paths
+
+    def _lookup(self, dst: IA, now: float) -> List[PathMeta]:
+        self.stats.inc("lookups")
         self._expire_down_interfaces(now)
         self._pull_revocations(now)
         cached = self._cache.get(dst)
         if cached is not None and now - cached[0] < self.cache_ttl_s:
-            self.stats.cache_hits += 1
+            self.stats.inc("cache_hits")
             paths = cached[1]
         else:
-            self.stats.fetches += 1
+            self.stats.inc("fetches")
             try:
                 paths = self._fetch(dst)
             except Exception:
                 paths = []
             if paths:
                 if cached is not None:
-                    self.stats.refreshes += 1
+                    self.stats.inc("refreshes")
                 self._cache[dst] = (now, paths)
             else:
-                self.stats.failed_fetches += 1
+                self.stats.inc("failed_fetches")
                 if cached is not None:
-                    self.stats.stale_served += 1
+                    self.stats.inc("stale_served")
                     paths = [
                         dataclasses.replace(meta, stale=True)
                         for meta in cached[1]
@@ -177,7 +193,13 @@ class Daemon:
         )
         if not interface_scoped or not message.origin_ia or not message.info:
             return
-        self.stats.scmp_interface_down += 1
+        self.stats.inc("scmp_interface_down")
+        if self.telemetry.enabled:
+            self.telemetry.tracer.add(
+                "scmp.error", now=now, status="error",
+                type=message.scmp_type.name, origin=str(message.origin_ia),
+                ifid=str(message.info),
+            )
         if revocation is not None and self.propagate_revocations:
             self.handle_revocation(revocation, now=now)
             return
@@ -197,14 +219,25 @@ class Daemon:
         """
         if not revocation.active(now):
             return
-        self.stats.revocations_received += 1
+        tel = self.telemetry
+        if not tel.enabled:
+            self._ingest_revocation(revocation, now)
+            return
+        with tel.tracer.span(
+            "revocation.ingest", now=now, host=str(self.ia),
+            key=revocation.key,
+        ):
+            self._ingest_revocation(revocation, now)
+
+    def _ingest_revocation(self, revocation: Revocation, now: float) -> None:
+        self.stats.inc("revocations_received")
         self._mark_down(revocation.key, revocation.expires_at())
         self._evict_paths_over(revocation.key)
         if self.propagate_revocations:
             path_server = self._path_server()
             if path_server is not None:
                 path_server.revoke(revocation, now=now)
-                self.stats.revocations_pushed += 1
+                self.stats.inc("revocations_pushed")
 
     def _mark_down(self, key: str, until: float) -> None:
         """Mark an interface down; repeated reports only ever extend."""
@@ -224,7 +257,7 @@ class Daemon:
                 self._cache[dst] = (fetched_at, kept)
             else:
                 del self._cache[dst]
-        self.stats.paths_evicted += evicted
+        self.stats.inc("paths_evicted", evicted)
         return evicted
 
     def _path_server(self):
@@ -242,7 +275,7 @@ class Daemon:
             if self._down_interfaces.get(rev.key, 0.0) < rev.expires_at():
                 self._mark_down(rev.key, rev.expires_at())
                 self._evict_paths_over(rev.key)
-                self.stats.revocations_pulled += 1
+                self.stats.inc("revocations_pulled")
 
     def _expire_down_interfaces(self, now: float) -> None:
         expired = [

@@ -26,6 +26,7 @@ from repro.endhost.bootstrap.bootstrapper import (
 )
 from repro.endhost.daemon import Daemon
 from repro.endhost.policy import LowestLatencyPolicy, PathPolicy, ShortestPolicy
+from repro.obs import NOOP_TELEMETRY, Telemetry
 from repro.scion.addr import HostAddr, IA
 from repro.scion.dataplane.underlay import IntraAsNetwork
 from repro.scion.network import ScionNetwork
@@ -236,6 +237,11 @@ class ScionSocket:
         return self.context.host
 
     @property
+    def _telemetry(self) -> Telemetry:
+        daemon = self.host.daemon
+        return daemon.telemetry if daemon is not None else NOOP_TELEMETRY
+
+    @property
     def local_address(self) -> HostAddr:
         return HostAddr(self.host.ia, self.host.ip, self.port)
 
@@ -287,6 +293,34 @@ class ScionSocket:
         *before any re-lookup*.  Without a daemon the revocation is
         consumed directly: the library's own cache is evicted and the queue
         filtered, so all paths over the dead link die in one step."""
+        tel = self._telemetry
+        if not tel.enabled:
+            return self._send_with_failover(
+                dst, payload, policy, max_attempts, now
+            )
+        span = tel.tracer.begin(
+            "host.send_with_failover", now=now,
+            src=str(self.host.ia), dst=str(dst.ia),
+        )
+        try:
+            result = self._send_with_failover(
+                dst, payload, policy, max_attempts, now
+            )
+        except BaseException:
+            tel.tracer.end(span, status="error")
+            raise
+        span.attrs["paths_tried"] = str(result.paths_tried)
+        tel.tracer.end(span, status="ok" if result.success else "error")
+        return result
+
+    def _send_with_failover(
+        self,
+        dst: HostAddr,
+        payload: bytes,
+        policy: Optional[PathPolicy],
+        max_attempts: int,
+        now: float,
+    ) -> SendResult:
         if dst.ia == self.host.ia:
             return self._deliver_local(dst, payload, now)
         queue = (policy or self.context.default_policy).order(
@@ -329,6 +363,14 @@ class ScionSocket:
         network = self.host.network
         probe = network.dataplane.probe(meta.path, now or network.timestamp)
         self.sent_packets += 1
+        tel = self._telemetry
+        if tel.enabled:
+            tel.tracer.add(
+                "dataplane.probe",
+                status="ok" if probe.success else "error",
+                failure=probe.failure,
+                failed_at="" if probe.failed_at is None else str(probe.failed_at),
+            )
         if not probe.success:
             if report_scmp:
                 self._report_probe_failure(probe, now)

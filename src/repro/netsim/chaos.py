@@ -102,15 +102,21 @@ class FaultInjector:
     probabilistic faults.
     """
 
-    def __init__(self, seed: int = 0xC4A05):
+    def __init__(self, seed: int = 0xC4A05, event_log: Optional[object] = None):
         self.seed = seed
         self.rng = random.Random(seed)
         self.events: List[FaultEvent] = []
+        #: Optional :class:`repro.obs.EventLog` — every fault is mirrored
+        #: into the unified timeline alongside supervisor and monitor events.
+        self.event_log = event_log
 
     # -- observability ---------------------------------------------------------
 
     def record(self, time_s: float, target: str, kind: str, detail: str = "") -> None:
-        self.events.append(FaultEvent(time_s, target, kind, detail))
+        fault = FaultEvent(time_s, target, kind, detail)
+        self.events.append(fault)
+        if self.event_log is not None:
+            self.event_log.record_fault(fault)
 
     def event_digest(self) -> str:
         """Stable digest of the fault stream (determinism checks)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.control.segments import ASEntry, Beacon, BeaconError, PeerEntry
 from repro.scion.crypto.keys import SymmetricKey
@@ -193,6 +194,7 @@ class BeaconingEngine:
         k_propagate: int = 6,
         store_capacity: int = 48,
         verify_beacons: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.topology = topology
         self.forwarding_keys = forwarding_keys
@@ -202,6 +204,11 @@ class BeaconingEngine:
         self.k_propagate = k_propagate
         self.verify_beacons = verify_beacons
         self.stats = BeaconingStats()
+        self._tracer = resolve(telemetry).tracer
+        #: beacon fingerprint -> root span of its origination trace, so a
+        #: stored beacon's later propagation and registration link back to
+        #: the PCB that started the diffusion.
+        self._beacon_spans: Dict[str, object] = {}
         self.core_stores: Dict[IA, BeaconStore] = {
             ia: BeaconStore(store_capacity) for ia in topology.ases
         }
@@ -276,7 +283,7 @@ class BeaconingEngine:
     # -- receive side --------------------------------------------------------------
 
     def _receive(self, store: BeaconStore, receiver: IA, ingress: int,
-                 beacon: Beacon) -> bool:
+                 beacon: Beacon, parent_span=None) -> bool:
         if receiver in beacon.as_sequence():
             self.stats.beacons_rejected_loop += 1
             return False
@@ -285,11 +292,28 @@ class BeaconingEngine:
                 beacon.verify(self.key_resolver, self.timestamp)
             except BeaconError:
                 self.stats.beacons_rejected_invalid += 1
+                if parent_span is not None:
+                    self._tracer.add(
+                        "beacon.reject", now=float(self.timestamp),
+                        parent=parent_span, status="error",
+                        receiver=str(receiver), reason="invalid-signature",
+                    )
                 return False
         terminal = self._make_entry(receiver, ingress, 0, beacon.next_beta())
         terminated = beacon.with_entry(terminal, self.signing_keys[receiver])
         if store.insert(terminated):
             self.stats.beacons_accepted += 1
+            if parent_span is not None:
+                self._tracer.add(
+                    "beacon.accept", now=float(self.timestamp),
+                    parent=parent_span,
+                    receiver=str(receiver), ingress=str(ingress),
+                )
+                # Termination mints a new fingerprint; remap it so later
+                # propagation of the stored beacon finds the same trace.
+                self._beacon_spans[terminated.interface_fingerprint()] = (
+                    parent_span
+                )
             return True
         return False
 
@@ -324,8 +348,17 @@ class BeaconingEngine:
             self.signing_keys[sender],
         )
         self.stats.beacons_sent += 1
+        root = None
+        if self._tracer.enabled:
+            root = self._beacon_spans.get(beacon.interface_fingerprint())
+            if root is not None:
+                self._tracer.add(
+                    "beacon.propagate", now=float(self.timestamp),
+                    parent=root, sender=str(sender), egress=str(iface.ifid),
+                )
         return self._receive(
-            stores[iface.remote_ia], iface.remote_ia, iface.remote_ifid, extended
+            stores[iface.remote_ia], iface.remote_ia, iface.remote_ifid,
+            extended, parent_span=root,
         )
 
     def _originate(self, origin: IA, iface: Interface,
@@ -338,8 +371,15 @@ class BeaconingEngine:
             iface.ifid,
         )
         self.stats.beacons_sent += 1
+        root = None
+        if self._tracer.enabled:
+            root = self._tracer.open(
+                "beacon.originate", now=float(self.timestamp),
+                origin=str(origin), egress=str(iface.ifid),
+            )
         return self._receive(
-            stores[iface.remote_ia], iface.remote_ia, iface.remote_ifid, beacon
+            stores[iface.remote_ia], iface.remote_ia, iface.remote_ifid,
+            beacon, parent_span=root,
         )
 
     def run(self, max_rounds: int = 64) -> int:
@@ -392,4 +432,12 @@ class BeaconingEngine:
             if not changed:
                 break
         self.stats.rounds = rounds
+        if self._tracer.enabled:
+            for span in self._beacon_spans.values():
+                if not span.finished:
+                    self._tracer.end(span, now=float(self.timestamp))
         return rounds
+
+    def trace_span_for(self, fingerprint: str):
+        """Root span of the trace that produced a stored beacon, if traced."""
+        return self._beacon_spans.get(fingerprint)

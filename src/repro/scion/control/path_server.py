@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs import CounterBackedStats, Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.control.segments import Beacon, SegmentType
 from repro.scion.revocation import Revocation, segment_crosses
@@ -24,23 +25,28 @@ class PathServerError(Exception):
     """Raised for invalid registrations or lookups."""
 
 
-@dataclass
-class RegistryStats:
-    registrations: int = 0
-    lookups: int = 0
-    cache_hits: int = 0
-    purged_expired: int = 0
-    #: Revocations accepted into the quarantine table.
-    revocations_received: int = 0
-    #: Revocations dropped because signature verification failed.
-    revocations_rejected: int = 0
-    #: Revocations lazily purged after their TTL ran out.
-    revocations_expired: int = 0
-    #: Revocations cleared early by a re-validating beacon (a fresh segment
-    #: crossing the revoked interface proves the link is alive again).
-    revocations_cleared_by_beacon: int = 0
-    #: Cumulative registered segments put behind a revocation at revoke time.
-    segments_quarantined: int = 0
+class RegistryStats(CounterBackedStats):
+    """Registry-backed path-service accounting (``registry_*_total``).
+
+    Field semantics:
+
+    * ``revocations_received`` — revocations accepted into quarantine.
+    * ``revocations_rejected`` — dropped on signature verification.
+    * ``revocations_expired`` — lazily purged after their TTL ran out.
+    * ``revocations_cleared_by_beacon`` — cleared early by a re-validating
+      beacon (a fresh segment crossing the revoked interface proves the
+      link is alive again).
+    * ``segments_quarantined`` — cumulative registered segments put behind
+      a revocation at revoke time.
+    """
+
+    FIELDS = (
+        "registrations", "lookups", "cache_hits", "purged_expired",
+        "revocations_received", "revocations_rejected",
+        "revocations_expired", "revocations_cleared_by_beacon",
+        "segments_quarantined",
+    )
+    PREFIX = "registry"
 
     @property
     def hit_rate(self) -> float:
@@ -56,7 +62,7 @@ class SegmentRegistry:
     later beaconing rounds become visible without an explicit flush.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         #: leaf AS -> down segments terminating there
         self._down: Dict[IA, Dict[str, Beacon]] = {}
         #: (origin core, terminal core) -> core segments
@@ -66,7 +72,12 @@ class SegmentRegistry:
         #: — filtered out of lookups — until the revocation expires or a
         #: fresh beacon re-validates the interface.
         self._revocations: Dict[str, Revocation] = {}
-        self.stats = RegistryStats()
+        tel = resolve(telemetry)
+        self._telemetry = tel
+        # Note: replacing a registry under the same enabled telemetry keeps
+        # the cumulative counters (Prometheus convention — counters survive
+        # the process, not the data structure); Telemetry.reset() zeroes.
+        self.stats = RegistryStats(tel.metrics if tel.enabled else None)
         self._version = 0
 
     @property
@@ -78,24 +89,24 @@ class SegmentRegistry:
 
     def register_down(self, segment: Beacon, now: Optional[float] = None) -> None:
         if now is not None and segment.expires_at() <= now:
-            self.stats.purged_expired += 1
+            self.stats.inc("purged_expired")
             return
         leaf = segment.terminal_ia
         bucket = self._down.setdefault(leaf, {})
         bucket[segment.interface_fingerprint()] = segment
         self._revalidate_from(segment)
-        self.stats.registrations += 1
+        self.stats.inc("registrations")
         self._version += 1
 
     def register_core(self, segment: Beacon, now: Optional[float] = None) -> None:
         if now is not None and segment.expires_at() <= now:
-            self.stats.purged_expired += 1
+            self.stats.inc("purged_expired")
             return
         key = (segment.origin_ia, segment.terminal_ia)
         bucket = self._core.setdefault(key, {})
         bucket[segment.interface_fingerprint()] = segment
         self._revalidate_from(segment)
-        self.stats.registrations += 1
+        self.stats.inc("registrations")
         self._version += 1
 
     def _revalidate_from(self, segment: Beacon) -> None:
@@ -114,7 +125,7 @@ class SegmentRegistry:
         ]
         for key in cleared:
             del self._revocations[key]
-        self.stats.revocations_cleared_by_beacon += len(cleared)
+        self.stats.inc("revocations_cleared_by_beacon", len(cleared))
         # No version bump needed here: every caller registers (bumping) next.
 
     # -- revocations -------------------------------------------------------------
@@ -131,14 +142,14 @@ class SegmentRegistry:
         if self.covers(revocation):
             return 0
         self._revocations[revocation.key] = revocation
-        self.stats.revocations_received += 1
+        self.stats.inc("revocations_received")
         quarantined = sum(
             1
             for bucket in list(self._down.values()) + list(self._core.values())
             for seg in bucket.values()
             if segment_crosses(seg, revocation.ia, revocation.ifid)
         )
-        self.stats.segments_quarantined += quarantined
+        self.stats.inc("segments_quarantined", quarantined)
         self._version += 1
         return quarantined
 
@@ -163,6 +174,25 @@ class SegmentRegistry:
         if now is not None:
             self._purge_expired_revocations(now)
         return sorted(self._revocations.values(), key=lambda rev: rev.key)
+
+    def newest_segment_timestamps(self) -> Dict[IA, float]:
+        """Newest registered segment timestamp per AS it touches.
+
+        Stats-neutral (no lookup counters bumped, nothing purged): health
+        reports read beacon freshness through this without perturbing the
+        metrics they sit next to.  Every AS on a segment's hop chain counts
+        as *touched* — a leaf with no down segments of its own but on a
+        live core segment is still being beaconed to.
+        """
+        newest: Dict[IA, float] = {}
+        for table in (self._down, self._core):
+            for bucket in table.values():
+                for seg in bucket.values():
+                    for ia in seg.as_sequence():
+                        held = newest.get(ia)
+                        if held is None or seg.timestamp > held:
+                            newest[ia] = seg.timestamp
+        return newest
 
     def quarantined_count(self) -> int:
         """How many registered segments are currently filtered from lookups."""
@@ -189,7 +219,7 @@ class SegmentRegistry:
             del self._revocations[key]
         if expired:
             self._version += 1
-        self.stats.revocations_expired += len(expired)
+        self.stats.inc("revocations_expired", len(expired))
         return len(expired)
 
     # -- expiry -----------------------------------------------------------------
@@ -216,7 +246,7 @@ class SegmentRegistry:
                     del table[key]
         if purged:
             self._version += 1
-        self.stats.purged_expired += purged
+        self.stats.inc("purged_expired", purged)
         return purged
 
     # -- lookup -----------------------------------------------------------------
@@ -224,7 +254,7 @@ class SegmentRegistry:
     def down_segments(self, dst: IA, now: Optional[float] = None) -> List[Beacon]:
         if now is not None:
             self.purge_expired(now)
-        self.stats.lookups += 1
+        self.stats.inc("lookups")
         return [
             seg for seg in self._down.get(dst, {}).values()
             if not self.is_revoked(seg)
@@ -236,7 +266,7 @@ class SegmentRegistry:
     ) -> List[Beacon]:
         if now is not None:
             self.purge_expired(now)
-        self.stats.lookups += 1
+        self.stats.inc("lookups")
         out: List[Beacon] = []
         for (seg_origin, seg_terminal), bucket in sorted(
             self._core.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
@@ -309,11 +339,19 @@ class LocalPathServer:
         core_rtt_s: float = 0.020,
         remote_isd_rtt_s: float = 0.080,
         revocation_verifier: Optional[Callable[[Revocation], bool]] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.ia = ia
         self.registry = registry
         self.core_rtt_s = core_rtt_s
         self.remote_isd_rtt_s = remote_isd_rtt_s
+        tel = resolve(telemetry)
+        self._telemetry = tel
+        self._lookup_latency = tel.metrics.histogram(
+            "pathserver_lookup_latency_seconds",
+            "Modeled path-lookup latency at the local path server.",
+            labels={"as": str(ia)},
+        )
         #: Checks a revocation's signature against the revoking AS's public
         #: key (wired by ScionNetwork).  When set, unverifiable revocations
         #: are rejected — anyone can *claim* an interface died; only the AS
@@ -372,7 +410,7 @@ class LocalPathServer:
         if self.revocation_verifier is not None and not self.revocation_verifier(
             revocation
         ):
-            self.registry.stats.revocations_rejected += 1
+            self.registry.stats.inc("revocations_rejected")
             return 0
         if self.registry.covers(revocation):
             return 0
@@ -381,6 +419,19 @@ class LocalPathServer:
             1 for seg in self._up.values()
             if segment_crosses(seg, revocation.ia, revocation.ifid)
         )
+        tel = self._telemetry
+        if tel.enabled:
+            at = now if now is not None else revocation.issued_at
+            tel.tracer.add(
+                "path_server.revocation_accept", now=at,
+                server=str(self.ia), key=revocation.key,
+                quarantined=quarantined,
+            )
+            tel.events.record_revocation(
+                at, revocation,
+                detail=f"accepted at {self.ia}; "
+                       f"quarantined {quarantined} segment(s)",
+            )
         if self.on_revocation is not None:
             self.on_revocation(revocation)
         return quarantined
@@ -413,7 +464,7 @@ class LocalPathServer:
             del self._up[fp]
         if stale:
             self._up_version += 1
-            self.registry.stats.purged_expired += len(stale)
+            self.registry.stats.inc("purged_expired", len(stale))
         return len(stale)
 
     def _state_version(self) -> Tuple[int, int]:
@@ -435,14 +486,40 @@ class LocalPathServer:
         purges expired segments first (which bumps the state version, so
         stale cached answers cannot be served).
         """
+        tel = self._telemetry
+        if not tel.enabled:
+            return self._segments_for(dst, now)
+        span = tel.tracer.begin(
+            "path_server.segments_for", now=now,
+            server=str(self.ia), dst=str(dst),
+        )
+        try:
+            result = self._segments_for(dst, now)
+        except BaseException:
+            tel.tracer.end(span, status="error")
+            raise
+        timing = result[3]
+        span.attrs["cached"] = str(timing.cached)
+        span.attrs["round_trips"] = str(timing.round_trips)
+        self._lookup_latency.observe(timing.latency_s)
+        # The span covers the modeled server round trips, so it ends at
+        # lookup start + modeled latency on the simulated clock.
+        tel.tracer.end(span, now=span.start_s + timing.latency_s)
+        return result
+
+    def _segments_for(
+        self, dst: IA, now: Optional[float] = None
+    ) -> Tuple[
+        Tuple[Beacon, ...], Tuple[Beacon, ...], Tuple[Beacon, ...], LookupTiming
+    ]:
         if now is not None:
             self.purge_expired(now)
             self.registry.purge_expired(now)
         cached = self._cache.get(dst)
         if cached is not None and cached[0] == self._state_version():
             _, ups, cores, downs = cached
-            self.registry.stats.lookups += 1
-            self.registry.stats.cache_hits += 1
+            self.registry.stats.inc("lookups")
+            self.registry.stats.inc("cache_hits")
             return ups, cores, downs, LookupTiming(0.0, 0, True)
 
         ups = self.up_segments
@@ -462,6 +539,12 @@ class LocalPathServer:
         seen: Dict[str, Beacon] = {}
         for seg in cores:
             seen[seg.interface_fingerprint()] = seg
+        tel = self._telemetry
+        if tel.enabled:
+            tel.tracer.add(
+                "registry.down_segments", dst=str(dst), count=len(downs)
+            )
+            tel.tracer.add("registry.core_segments", count=len(seen))
 
         result = (tuple(ups), tuple(seen.values()), tuple(downs))
         self._cache[dst] = (self._state_version(),) + result

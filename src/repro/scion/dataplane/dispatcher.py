@@ -19,18 +19,25 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.netsim.simulator import Simulator
+from repro.obs import CounterBackedStats, Telemetry, resolve
 
 
 class DispatcherError(Exception):
     """Raised for invalid registrations (e.g. duplicate ports)."""
 
 
-@dataclass
-class DataPathStats:
-    delivered: int = 0
-    dropped_queue_full: int = 0
-    dropped_no_listener: int = 0
-    busy_time_s: float = 0.0
+class DataPathStats(CounterBackedStats):
+    """Registry-backed end-host data path accounting.
+
+    Fields stay readable as attributes; with telemetry enabled they are
+    views over ``datapath_*_total`` counter families labelled by mode.
+    """
+
+    FIELDS = (
+        "delivered", "dropped_queue_full", "dropped_no_listener",
+        "busy_time_s",
+    )
+    PREFIX = "datapath"
 
 
 class Dispatcher:
@@ -49,10 +56,16 @@ class Dispatcher:
         self,
         per_packet_s: float = DEFAULT_PER_PACKET_S,
         queue_limit: int = 4096,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.per_packet_s = per_packet_s
         self.queue_limit = queue_limit
-        self.stats = DataPathStats()
+        tel = resolve(telemetry)
+        self._tracer = tel.tracer
+        self.stats = DataPathStats(
+            tel.metrics if tel.enabled else None,
+            labels={"mode": "dispatcher"},
+        )
         self._listeners: Dict[int, Callable[[object], None]] = {}
         self._busy_until = 0.0
         self._queued = 0
@@ -69,21 +82,36 @@ class Dispatcher:
         """A packet arrived on the fixed dispatcher port; demux it."""
         handler = self._listeners.get(dst_port)
         if handler is None:
-            self.stats.dropped_no_listener += 1
+            self.stats.inc("dropped_no_listener")
+            if self._tracer.enabled:
+                self._tracer.add("dispatcher.drop", now=sim.now,
+                                 status="error", reason="no-listener",
+                                 port=dst_port)
             return
         if self._queued >= self.queue_limit:
-            self.stats.dropped_queue_full += 1
+            self.stats.inc("dropped_queue_full")
+            if self._tracer.enabled:
+                self._tracer.add("dispatcher.drop", now=sim.now,
+                                 status="error", reason="queue-full",
+                                 port=dst_port)
             return
         start = max(sim.now, self._busy_until)
         done = start + self.per_packet_s
         self._busy_until = done
         self._queued += 1
-        self.stats.busy_time_s += self.per_packet_s
+        self.stats.inc("busy_time_s", self.per_packet_s)
+        if self._tracer.enabled:
+            # The span covers queue wait + processing; its end time is
+            # known at enqueue, so it is closed here (determinism is
+            # unaffected: both ends carry explicit simulated times).
+            span = self._tracer.open("dispatcher.receive", now=sim.now,
+                                     port=dst_port)
+            self._tracer.end(span, now=done)
         sim.schedule_at(done, self._deliver, handler, payload)
 
     def _deliver(self, handler: Callable[[object], None], payload: object) -> None:
         self._queued -= 1
-        self.stats.delivered += 1
+        self.stats.inc("delivered")
         handler(payload)
 
     def capacity_pps(self) -> float:
@@ -106,13 +134,19 @@ class DispatcherlessStack:
         cores: int = 4,
         per_packet_s: float = DEFAULT_PER_PACKET_S,
         queue_limit: int = 4096,
+        telemetry: Optional[Telemetry] = None,
     ):
         if cores < 1:
             raise ValueError("need at least one core")
         self.cores = cores
         self.per_packet_s = per_packet_s
         self.queue_limit = queue_limit
-        self.stats = DataPathStats()
+        tel = resolve(telemetry)
+        self._tracer = tel.tracer
+        self.stats = DataPathStats(
+            tel.metrics if tel.enabled else None,
+            labels={"mode": "dispatcherless"},
+        )
         self._listeners: Dict[int, Callable[[object], None]] = {}
         self._busy_until = [0.0] * cores
         self._queued = [0] * cores
@@ -126,23 +160,23 @@ class DispatcherlessStack:
                 flow_hash: Optional[int] = None) -> None:
         handler = self._listeners.get(dst_port)
         if handler is None:
-            self.stats.dropped_no_listener += 1
+            self.stats.inc("dropped_no_listener")
             return
         core = (flow_hash if flow_hash is not None else dst_port) % self.cores
         if self._queued[core] >= self.queue_limit:
-            self.stats.dropped_queue_full += 1
+            self.stats.inc("dropped_queue_full")
             return
         start = max(sim.now, self._busy_until[core])
         done = start + self.per_packet_s
         self._busy_until[core] = done
         self._queued[core] += 1
-        self.stats.busy_time_s += self.per_packet_s
+        self.stats.inc("busy_time_s", self.per_packet_s)
         sim.schedule_at(done, self._deliver, core, handler, payload)
 
     def _deliver(self, core: int, handler: Callable[[object], None],
                  payload: object) -> None:
         self._queued[core] -= 1
-        self.stats.delivered += 1
+        self.stats.inc("delivered")
         handler(payload)
 
     def capacity_pps(self) -> float:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.netsim.simulator import Simulator
+from repro.obs import Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.crypto.keys import SymmetricKey
 from repro.scion.crypto.rsa import RsaKeyPair
@@ -103,10 +104,13 @@ class ScionDataplane:
         router_processing_s: float = ROUTER_PROCESSING_S,
         signing_keys: Optional[Dict[IA, RsaKeyPair]] = None,
         revocation_ttl_s: float = DEFAULT_REVOCATION_TTL_S,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.topology = topology
+        tel = resolve(telemetry)
+        self._telemetry = tel
         self.routers: Dict[IA, BorderRouter] = {
-            ia: BorderRouter(topo, forwarding_keys[ia])
+            ia: BorderRouter(topo, forwarding_keys[ia], telemetry=telemetry)
             for ia, topo in topology.ases.items()
         }
         self.router_processing_s = router_processing_s
@@ -184,6 +188,7 @@ class ScionDataplane:
                     False, failure="no-link", failed_at=record.hop.ia
                 )
             if not link.up:
+                router.link_down_drops.inc()
                 scmp = interface_down(str(record.hop.ia), decision.egress_ifid)
                 return ProbeResult(
                     False, failure="link-down", failed_at=record.hop.ia,
@@ -325,7 +330,15 @@ class ScionDataplane:
         that produce one — queue overflows and chaos loss do not, so the
         source cannot mistake congestion for a dead link.
         """
-        self._hop(sim, packet, None, on_delivered, on_dropped, on_scmp)
+        trace_span = None
+        tracer = self._telemetry.tracer
+        if tracer.enabled:
+            trace_span = tracer.open(
+                "packet.send", now=sim.now,
+                src=str(packet.src.ia), dst=str(packet.dst.ia),
+            )
+        self._hop(sim, packet, None, on_delivered, on_dropped, on_scmp,
+                  trace_span)
 
     def _hop(
         self,
@@ -335,12 +348,14 @@ class ScionDataplane:
         on_delivered: Callable[[ScionPacket], None],
         on_dropped: Optional[Callable[[ScionPacket, str, DropLocation], None]],
         on_scmp: Optional[Callable[[ScionPacket, ScmpMessage], None]] = None,
+        trace_span=None,
     ) -> None:
         records = packet.path.forwarding_plan()
         if not (0 <= packet.curr_hop < len(records)):
             self._drop(
                 packet, "hop-pointer-out-of-range", DropLocation(),
                 on_dropped, on_scmp,
+                trace_span=trace_span, now=sim.now,
             )
             return
         record = records[packet.curr_hop]
@@ -353,10 +368,17 @@ class ScionDataplane:
             self._drop(
                 packet, "unknown-as", DropLocation(ia=record.hop.ia),
                 on_dropped, on_scmp,
+                trace_span=trace_span, now=sim.now,
             )
             return
         decision = router.decide(record, next_record, arrival_ifid, sim.now)
+        tracer = self._telemetry.tracer
         if decision.verdict is Verdict.DELIVER:
+            done = sim.now + self.router_processing_s
+            if trace_span is not None:
+                tracer.add("packet.delivered", now=done, parent=trace_span,
+                           **{"as": str(record.hop.ia)})
+                tracer.end(trace_span, now=done)
             sim.schedule(self.router_processing_s, on_delivered, packet)
             return
         if decision.verdict is Verdict.CROSSOVER:
@@ -364,6 +386,7 @@ class ScionDataplane:
             sim.schedule(
                 self.router_processing_s,
                 self._hop, sim, packet, None, on_delivered, on_dropped, on_scmp,
+                trace_span,
             )
             return
         if decision.verdict is not Verdict.FORWARD:
@@ -371,13 +394,15 @@ class ScionDataplane:
             self._drop(
                 packet, decision.verdict.value, location, on_dropped, on_scmp,
                 scmp=self._scmp_for_verdict(decision, record.hop.ia),
+                trace_span=trace_span, now=sim.now,
             )
             return
         egress = decision.egress_ifid
         location = DropLocation(ia=record.hop.ia, ifid=egress)
         link = self.topology.link_between(record.hop.ia, egress)
         if link is None:
-            self._drop(packet, "no-link", location, on_dropped, on_scmp)
+            self._drop(packet, "no-link", location, on_dropped, on_scmp,
+                       trace_span=trace_span, now=sim.now)
             return
         if not router.try_enqueue(egress):
             # Bounded egress queue overflow: congestion, not failure.
@@ -385,38 +410,56 @@ class ScionDataplane:
             self._drop(
                 packet, Verdict.DROP_QUEUE_FULL.value, location,
                 on_dropped, on_scmp,
+                trace_span=trace_span, now=sim.now,
             )
             return
         iface = self.topology.get(record.hop.ia).interfaces[egress]
         packet.advance()
+        if trace_span is not None:
+            tracer.add("router.hop", now=sim.now, parent=trace_span,
+                       egress=str(egress), **{"as": str(record.hop.ia)})
 
         def deliver() -> None:
             router.release(egress)
             self._hop(sim, packet, iface.remote_ifid, on_delivered,
-                      on_dropped, on_scmp)
+                      on_dropped, on_scmp, trace_span)
 
         def drop(reason: str) -> None:
             router.release(egress)
+            if reason == "link-down":
+                router.link_down_drops.inc()
             # Only a down link is a router-attributable failure; chaos loss
             # and corruption vanish without an error message.
             scmp = (
                 interface_down(str(location.ia), egress)
                 if reason == "link-down" else None
             )
-            self._drop(packet, reason, location, on_dropped, on_scmp, scmp)
+            self._drop(packet, reason, location, on_dropped, on_scmp, scmp,
+                       trace_span=trace_span, now=sim.now)
 
         link.transmit(sim, str(record.hop.ia), packet.size_bytes(),
                       deliver=deliver, drop=drop)
 
-    @staticmethod
     def _drop(
+        self,
         packet: ScionPacket,
         reason: str,
         location: DropLocation,
         on_dropped: Optional[Callable[[ScionPacket, str, DropLocation], None]],
         on_scmp: Optional[Callable[[ScionPacket, ScmpMessage], None]] = None,
         scmp: Optional[ScmpMessage] = None,
+        trace_span=None,
+        now: Optional[float] = None,
     ) -> None:
+        if trace_span is not None:
+            tracer = self._telemetry.tracer
+            at = "" if location.ia is None else str(location.ia)
+            tracer.add("packet.drop", now=now, parent=trace_span,
+                       status="error", reason=reason, **{"as": at})
+            if scmp is not None:
+                tracer.add("scmp.emit", now=now, parent=trace_span,
+                           status="error", type=scmp.scmp_type.name)
+            tracer.end(trace_span, now=now, status="error")
         if on_dropped is not None:
             on_dropped(packet, reason, location)
         if scmp is not None and on_scmp is not None:

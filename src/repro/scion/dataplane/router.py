@@ -28,6 +28,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
+from repro.obs import CounterBackedStats, Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.crypto.keys import SymmetricKey
 from repro.scion.path import HopRecord, oriented_interfaces
@@ -57,10 +58,16 @@ class RouterDecision:
     scmp: Optional[ScmpMessage] = None
 
 
-@dataclass
-class RouterStats:
-    forwarded: int = 0
-    queue_drops: int = 0
+class RouterStats(CounterBackedStats):
+    """Registry-backed router accounting.
+
+    ``forwarded`` and ``queue_drops`` stay readable as plain attributes;
+    with telemetry enabled they are views over the labelled counter
+    families ``router_forwarded_total`` / ``router_queue_drops_total``.
+    """
+
+    FIELDS = ("forwarded", "queue_drops")
+    PREFIX = "router"
 
 
 #: Default bound on each egress interface's in-flight queue.  Generous —
@@ -78,6 +85,7 @@ class BorderRouter:
         forwarding_key: SymmetricKey,
         flavor: Optional[str] = None,
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        telemetry: Optional[Telemetry] = None,
     ):
         if queue_capacity <= 0:
             raise ValueError("queue_capacity must be positive")
@@ -86,7 +94,30 @@ class BorderRouter:
         self._key = forwarding_key
         self.flavor = flavor or topology.flavor
         self.queue_capacity = queue_capacity
-        self.stats = RouterStats()
+        tel = resolve(telemetry)
+        self._telemetry = tel
+        labels = {"as": str(self.ia)}
+        self.stats = RouterStats(
+            tel.metrics if tel.enabled else None, labels=labels
+        )
+        # One labelled drop counter per drop verdict, resolved up front so
+        # decide() pays a dict lookup + inc only on the (rare) drop branches
+        # — and a no-op inc when telemetry is disabled.
+        self._drop_counters = {
+            verdict: tel.metrics.counter(
+                "router_drops_total",
+                "Packets dropped at the border router, by reason.",
+                labels={**labels, "reason": verdict.value},
+            )
+            for verdict in Verdict
+            if verdict.value.startswith("drop")
+        }
+        # The dataplane attributes link-down losses to the egress router.
+        self.link_down_drops = tel.metrics.counter(
+            "router_drops_total",
+            "Packets dropped at the border router, by reason.",
+            labels={**labels, "reason": "link-down"},
+        )
         self._queue_depth: Dict[int, int] = {}
         self._down_interfaces: Set[int] = set()
 
@@ -111,16 +142,16 @@ class BorderRouter:
                 f"router {self.ia} asked to process hop of {hop.ia}"
             )
         if hop.expiry < now:
-            return RouterDecision(Verdict.DROP_EXPIRED)
+            return self._drop_decision(Verdict.DROP_EXPIRED)
         if not hop.verify(self._key, record.info.timestamp):
-            return RouterDecision(Verdict.DROP_BAD_MAC)
+            return self._drop_decision(Verdict.DROP_BAD_MAC)
         ingress, egress = oriented_interfaces(hop, record.info)
         if (
             arrival_ifid is not None
             and not record.is_seg_first
             and ingress != arrival_ifid
         ):
-            return RouterDecision(Verdict.DROP_WRONG_INGRESS)
+            return self._drop_decision(Verdict.DROP_WRONG_INGRESS)
 
         last_overall = next_record is None
         if last_overall:
@@ -133,13 +164,17 @@ class BorderRouter:
         # hop of a segment egresses over the peer link to a different AS.
         if egress == 0:
             # Terminal hop field but the path continues: malformed.
-            return RouterDecision(Verdict.DROP_NO_INTERFACE)
+            return self._drop_decision(Verdict.DROP_NO_INTERFACE)
         iface = self.topology.interfaces.get(egress)
         if iface is None:
-            return RouterDecision(Verdict.DROP_NO_INTERFACE, egress_ifid=egress)
+            return self._drop_decision(Verdict.DROP_NO_INTERFACE, egress)
         if egress in self._down_interfaces:
-            return RouterDecision(Verdict.DROP_INTERFACE_DOWN, egress_ifid=egress)
+            return self._drop_decision(Verdict.DROP_INTERFACE_DOWN, egress)
         return RouterDecision(Verdict.FORWARD, egress_ifid=egress)
+
+    def _drop_decision(self, verdict: Verdict, egress_ifid: int = 0) -> RouterDecision:
+        self._drop_counters[verdict].inc()
+        return RouterDecision(verdict, egress_ifid=egress_ifid)
 
     # -- local interface state ---------------------------------------------------
 
@@ -164,10 +199,11 @@ class BorderRouter:
         """
         depth = self._queue_depth.get(ifid, 0)
         if depth >= self.queue_capacity:
-            self.stats.queue_drops += 1
+            self.stats.inc("queue_drops")
+            self._drop_counters[Verdict.DROP_QUEUE_FULL].inc()
             return False
         self._queue_depth[ifid] = depth + 1
-        self.stats.forwarded += 1
+        self.stats.inc("forwarded")
         return True
 
     def release(self, ifid: int) -> None:

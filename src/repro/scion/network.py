@@ -23,6 +23,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs import Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.control.beaconing import BeaconingEngine
 from repro.scion.control.combinator import combine_paths
@@ -72,9 +73,13 @@ class ScionNetwork:
         k_register: int = 16,
         verify_beacons: bool = True,
         run_beaconing: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ):
         topology.validate()
         self.topology = topology
+        #: Public telemetry handle — daemons, supervisors, and experiment
+        #: drivers attach to the same registry/tracer/event log.
+        self.telemetry = resolve(telemetry)
         self.seed = seed
         self.timestamp = timestamp
         self.k_register = k_register
@@ -89,7 +94,7 @@ class ScionNetwork:
             self.trust_store.add_trc(self.isd_trust[isd].trc)
 
         # 2. Per-AS identities and services.
-        self.registry = SegmentRegistry()
+        self.registry = SegmentRegistry(telemetry=telemetry)
         self.services: Dict[IA, ControlService] = {}
         for index, (ia, as_topo) in enumerate(sorted(topology.ases.items())):
             signing_key = RsaKeyPair.generate(seed=self._key_seed("as", ia))
@@ -102,7 +107,9 @@ class ScionNetwork:
                 signing_key=signing_key,
                 forwarding_key=derive_forwarding_key(master, str(ia)),
                 certificate=issued,
-                path_server=LocalPathServer(ia, self.registry),
+                path_server=LocalPathServer(
+                    ia, self.registry, telemetry=telemetry
+                ),
             )
             for trust_material in self.isd_trust.values():
                 service.trust_store.add_trc(trust_material.trc)
@@ -130,8 +137,35 @@ class ScionNetwork:
         # 5. Data plane — handed the AS signing keys so the SCMP errors it
         # emits can be turned into *signed* revocations at the source AS.
         self.dataplane = ScionDataplane(
-            topology, self.forwarding_keys, signing_keys=self.signing_keys
+            topology, self.forwarding_keys, signing_keys=self.signing_keys,
+            telemetry=telemetry,
         )
+        if self.telemetry.enabled:
+            self.telemetry.metrics.register_collector(self._collect_gauges)
+
+    def _collect_gauges(self, metrics) -> None:
+        """Pull-style gauges sampled at export time (no hot-path cost)."""
+        metrics.gauge(
+            "scion_quarantined_segments",
+            "Segments currently quarantined by active revocations.",
+        ).set(self.registry.quarantined_count())
+        metrics.gauge(
+            "scion_active_revocations",
+            "Distinct interfaces under an unexpired revocation.",
+        ).set(len(self.registry.active_revocations()))
+        metrics.gauge(
+            "scion_links_down", "Topology links administratively down.",
+        ).set(sum(1 for link in self.topology.links.values() if not link.up))
+        engine = self.beaconing
+        if engine is not None:
+            for name in (
+                "rounds", "beacons_sent", "beacons_accepted",
+                "beacons_rejected_loop", "beacons_rejected_invalid",
+            ):
+                metrics.gauge(
+                    f"beaconing_{name}",
+                    "Beaconing engine totals for the last run.",
+                ).set(float(getattr(engine.stats, name)))
 
     # -- construction helpers ---------------------------------------------------
 
@@ -293,6 +327,7 @@ class ScionNetwork:
             timestamp=int(verify_now),
             k_propagate=k_propagate,
             verify_beacons=verify_beacons,
+            telemetry=self.telemetry,
         )
         engine.run()
         self.beaconing = engine
@@ -314,17 +349,32 @@ class ScionNetwork:
     def _register_segments(
         self, engine: BeaconingEngine, now: Optional[float] = None
     ) -> None:
+        tel = self.telemetry
+        at = float(self.timestamp if now is None else now)
+
+        def _trace_register(segment, ia: IA, kind: str) -> None:
+            root = engine.trace_span_for(segment.interface_fingerprint())
+            if root is not None:
+                tel.tracer.add(
+                    "beacon.register", now=at, parent=root,
+                    kind=kind, **{"as": str(ia)},
+                )
+
         for ia, topo in sorted(self.topology.ases.items()):
             service = self.services[ia]
             if topo.is_core:
                 stored = engine.core_stores[ia].select_all(self.k_register, now=now)
                 for segment in stored:
                     self.registry.register_core(segment, now=now)
+                    if tel.enabled:
+                        _trace_register(segment, ia, "core")
             else:
                 stored = engine.down_stores[ia].select_all(self.k_register, now=now)
                 for segment in stored:
                     service.path_server.register_up(segment)
                     self.registry.register_down(segment, now=now)
+                    if tel.enabled:
+                        _trace_register(segment, ia, "down")
 
     # -- path lookup ---------------------------------------------------------------
 
@@ -349,14 +399,29 @@ class ScionNetwork:
             src_topo = self.topology.get(src)
             dst_topo = self.topology.get(dst)
             ups, cores, downs, _ = self.services[src].path_server.segments_for(dst)
-            raw = combine_paths(
-                src, dst,
-                up_segments=[] if src_topo.is_core else ups,
-                core_segments=cores,
-                down_segments=[] if dst_topo.is_core else downs,
-                src_is_core=src_topo.is_core,
-                dst_is_core=dst_topo.is_core,
-            )
+            tel = self.telemetry
+            if tel.enabled:
+                with tel.tracer.span(
+                    "combinator.combine", src=str(src), dst=str(dst)
+                ) as span:
+                    raw = combine_paths(
+                        src, dst,
+                        up_segments=[] if src_topo.is_core else ups,
+                        core_segments=cores,
+                        down_segments=[] if dst_topo.is_core else downs,
+                        src_is_core=src_topo.is_core,
+                        dst_is_core=dst_topo.is_core,
+                    )
+                    span.attrs["paths"] = str(len(raw))
+            else:
+                raw = combine_paths(
+                    src, dst,
+                    up_segments=[] if src_topo.is_core else ups,
+                    core_segments=cores,
+                    down_segments=[] if dst_topo.is_core else downs,
+                    src_is_core=src_topo.is_core,
+                    dst_is_core=dst_topo.is_core,
+                )
             metas = [self._meta(path) for path in raw]
             self._path_cache[key] = metas
         if max_paths is not None:
@@ -440,7 +505,9 @@ class ScionNetwork:
             signing_key=signing_key,
             forwarding_key=derive_forwarding_key(master, str(ia)),
             certificate=issued,
-            path_server=LocalPathServer(ia, self.registry),
+            path_server=LocalPathServer(
+                ia, self.registry, telemetry=self.telemetry
+            ),
         )
         for trust_material in self.isd_trust.values():
             service.trust_store.add_trc(trust_material.trc)
@@ -450,7 +517,7 @@ class ScionNetwork:
         self.signing_keys[ia] = service.signing_key
         self.dataplane.signing_keys[ia] = service.signing_key
         self.dataplane.routers[ia] = BorderRouter(
-            as_topo, service.forwarding_key
+            as_topo, service.forwarding_key, telemetry=self.telemetry
         )
 
         self._reset_control_plane()
@@ -459,13 +526,14 @@ class ScionNetwork:
 
     def _reset_control_plane(self) -> None:
         """Drop registered segments and caches before re-beaconing."""
-        self.registry = SegmentRegistry()
+        self.registry = SegmentRegistry(telemetry=self.telemetry)
         self._path_cache.clear()
         self._path_cache_version = self.registry.version
         for service in self.services.values():
             service.path_server = LocalPathServer(
                 service.ia, self.registry,
                 revocation_verifier=self.verify_revocation,
+                telemetry=self.telemetry,
             )
 
     # -- operational hooks -----------------------------------------------------------
@@ -505,6 +573,20 @@ class ScionNetwork:
     def flush_path_cache(self) -> None:
         """Drop memoized path combinations (control-plane state changed)."""
         self._path_cache.clear()
+
+    def reset_stats(self) -> None:
+        """Zero every cumulative stats counter: an explicit epoch boundary.
+
+        The convention: ``*Stats`` counters are **cumulative** — they
+        survive ``run_beaconing`` epochs and component swaps, matching
+        Prometheus counter semantics.  Experiments that want per-epoch
+        numbers call this between epochs (or construct fresh components;
+        both are equivalent).  Telemetry-backed counters are zeroed in the
+        shared registry, so exported series restart from zero too.
+        """
+        self.registry.stats.reset()
+        for router in self.dataplane.routers.values():
+            router.stats.reset()
 
     def set_link_state(self, link_name: str, up: bool) -> None:
         try:
