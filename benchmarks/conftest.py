@@ -5,12 +5,22 @@ are built once per session; each benchmark then times the analysis that
 regenerates its table/figure. Paper-vs-measured reports are collected and
 printed in the terminal summary so they land in benchmark logs even with
 output capturing on.
+
+Perf trajectory: at session end, every benchmark module that ran gets one
+``BENCH_<name>.json`` snapshot at the repo root (``test_bench_kernel.py``
+-> ``BENCH_kernel.json``) recording ops/sec and p50/p99 per benchmark —
+see ``trajectory.py`` for the schema and the CI regression gate.  A test
+can scale its throughput to work units (hops per walk, events per run) by
+setting ``benchmark.extra_info["units_per_op"]``; the per-round times are
+then divided by it so ops/sec and the quantiles are per-unit.
 """
 
+from pathlib import Path
 from typing import List
 
 import pytest
 
+import trajectory
 from repro.experiments.common import get_campaign, get_world
 
 _REPORTS: List[str] = []
@@ -38,3 +48,48 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     for text in _REPORTS:
         terminalreporter.write_line(text)
         terminalreporter.write_line("")
+
+
+# -- perf-trajectory snapshot emission ----------------------------------------
+
+
+def _metric_name(bench_name: str) -> str:
+    """``test_bench_hop_mac_verify`` -> ``hop_mac_verify``."""
+    for prefix in ("test_bench_", "test_"):
+        if bench_name.startswith(prefix):
+            return bench_name[len(prefix):]
+    return bench_name
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    by_module = {}
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None or not getattr(stats, "data", None):
+            continue
+        module = Path(bench.fullname.split("::")[0]).stem
+        name = trajectory.module_snapshot_name(module)
+        if name is None:
+            continue
+        scale = float(bench.extra_info.get("units_per_op", 1.0)) or 1.0
+        p50, p99 = trajectory.quantiles_from_rounds(stats.data, scale=scale)
+        # Throughput from the *fastest* round: the classic noise-robust
+        # estimator (scheduler preemption and GC only ever slow a round
+        # down), so the CI regression gate compares signal, not jitter.
+        best = stats.min / scale
+        by_module.setdefault(name, {})[_metric_name(bench.name)] = (
+            trajectory.metric_entry(
+                ops_per_sec=(1.0 / best) if best > 0 else 0.0,
+                p50_s=p50,
+                p99_s=p99,
+                rounds=stats.rounds,
+            )
+        )
+    for name, metrics in sorted(by_module.items()):
+        path = trajectory.write_snapshot(name, metrics)
+        terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+        if terminal is not None:
+            terminal.write_line(f"perf trajectory snapshot: {path}")

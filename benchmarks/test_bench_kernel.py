@@ -1,0 +1,169 @@
+"""Micro-benchmarks of the simulation kernel: the hot paths every other
+experiment sits on.
+
+Three subsystems, matching the ``BENCH_kernel.json`` trajectory snapshot:
+
+* **event throughput** — schedule/fire cycles through the discrete-event
+  heap, plus a cancellation-heavy variant (timer churn: retry/backoff,
+  health checks, monitor probes) that exercises the live-counter and lazy
+  compaction paths;
+* **walk hops/sec** — the analytic dataplane walk (per-hop router decision,
+  MAC verification, link lookup), measured both optimized and with the MAC/
+  plan caches disabled (the pre-optimization baseline);
+* **MAC verifies/sec** — hop-field MAC verification, cached and uncached.
+
+``test_walk_speedup_vs_baseline`` asserts the optimized walk beats the
+uncached baseline by >=2x in the same process — the acceptance bar for the
+kernel perf pass.  The caches are pure memos, so the two modes return
+identical results (property-tested in ``tests/scion/test_mac_properties.py``).
+"""
+
+import time
+
+from conftest import report  # noqa: F401  (kept for symmetry)
+
+from repro.netsim.simulator import Simulator
+from repro.scion.addr import IA
+from repro.scion.crypto.keys import SymmetricKey
+from repro.scion.crypto.mac import (
+    clear_mac_cache,
+    hop_mac,
+    set_mac_cache,
+    verify_hop_mac,
+)
+from repro.scion.path import DataplanePath
+
+KEY = SymmetricKey(b"bench-key-bench-key-bench-key-32")
+
+EVENTS_PER_ROUND = 5_000
+
+
+def _noop() -> None:
+    pass
+
+
+def _bench_path(world):
+    net = world.network
+    meta = net.paths(IA.parse("71-225"), IA.parse("71-2:0:5c"))[0]
+    return net, meta.path
+
+
+# -- event kernel -------------------------------------------------------------
+
+
+def test_bench_event_throughput(benchmark):
+    def run_events() -> int:
+        sim = Simulator()
+        schedule = sim.schedule
+        for i in range(EVENTS_PER_ROUND):
+            schedule(i * 1e-6, _noop)
+        sim.run_until_idle()
+        return sim.events_processed
+
+    benchmark.extra_info["units_per_op"] = EVENTS_PER_ROUND
+    assert benchmark(run_events) == EVENTS_PER_ROUND
+
+
+def test_bench_timer_churn(benchmark):
+    """Schedule-then-cancel churn: 90% of timers never fire.
+
+    This is the retry/backoff shape that used to grow the heap unboundedly
+    and made ``pending_events`` an O(n) scan; it now exercises the live
+    counter and the lazy compaction threshold.
+    """
+
+    def churn() -> int:
+        sim = Simulator()
+        cancelled = 0
+        for i in range(EVENTS_PER_ROUND):
+            timer = sim.schedule(1.0 + i * 1e-6, _noop)
+            if i % 10 != 0:
+                timer.cancel()
+                cancelled += 1
+            if sim.pending_events > EVENTS_PER_ROUND:  # O(1) counter read
+                raise AssertionError("live counter out of bounds")
+        sim.run_until_idle()
+        return cancelled
+
+    benchmark.extra_info["units_per_op"] = EVENTS_PER_ROUND
+    assert benchmark(churn) == EVENTS_PER_ROUND * 9 // 10
+
+
+# -- dataplane walk -----------------------------------------------------------
+
+
+def test_bench_walk_hops(benchmark, world):
+    net, path = _bench_path(world)
+    hops = len(path.forwarding_plan())
+    benchmark.extra_info["units_per_op"] = hops
+    result = benchmark(net.dataplane.walk, path, net.timestamp)
+    assert result.success
+
+
+def test_bench_walk_hops_baseline(benchmark, world):
+    """Pre-optimization walk: uncached MACs, plan rebuilt per walk."""
+    net, path = _bench_path(world)
+    hops = len(path.forwarding_plan())
+    now = net.timestamp
+    segments = path.segments
+
+    def baseline_walk():
+        # A fresh DataplanePath has no cached views, so the forwarding
+        # plan is rebuilt exactly once per walk — the old behaviour.
+        return net.dataplane.walk(DataplanePath(segments), now)
+
+    set_mac_cache(False)
+    try:
+        benchmark.extra_info["units_per_op"] = hops
+        result = benchmark(baseline_walk)
+    finally:
+        set_mac_cache(True)
+    assert result.success
+
+
+def test_walk_speedup_vs_baseline(world):
+    """The kernel perf pass acceptance bar: optimized walk >= 2x baseline."""
+    net, path = _bench_path(world)
+    now = net.timestamp
+    segments = path.segments
+    rounds = 2_000
+
+    def timed(fn) -> float:
+        for _ in range(200):  # warmup (fills caches in optimized mode)
+            fn()
+        start = time.perf_counter()
+        for _ in range(rounds):
+            fn()
+        return time.perf_counter() - start
+
+    set_mac_cache(False)
+    try:
+        baseline_s = timed(lambda: net.dataplane.walk(DataplanePath(segments), now))
+    finally:
+        set_mac_cache(True)
+    optimized_s = timed(lambda: net.dataplane.walk(path, now))
+
+    speedup = baseline_s / optimized_s
+    assert net.dataplane.walk(path, now).success
+    assert speedup >= 2.0, (
+        f"optimized walk only {speedup:.2f}x the uncached baseline "
+        f"({rounds / optimized_s:.0f} vs {rounds / baseline_s:.0f} walks/s)"
+    )
+
+
+# -- MAC verification ---------------------------------------------------------
+
+
+def test_bench_mac_verify(benchmark):
+    mac = hop_mac(KEY, 1000, 2000, 1, 2, 7)
+    clear_mac_cache()
+    assert benchmark(verify_hop_mac, KEY, 1000, 2000, 1, 2, 7, mac)
+
+
+def test_bench_mac_verify_baseline(benchmark):
+    mac = hop_mac(KEY, 1000, 2000, 1, 2, 7)
+    set_mac_cache(False)
+    try:
+        assert benchmark(verify_hop_mac, KEY, 1000, 2000, 1, 2, 7, mac)
+    finally:
+        set_mac_cache(True)

@@ -1,0 +1,183 @@
+"""The persisted perf trajectory: ``BENCH_<name>.json`` snapshots.
+
+Every benchmark module ``benchmarks/test_bench_<name>.py`` emits one
+snapshot at the repo root when it runs (wired up in ``conftest.py``).  A
+snapshot records, per benchmark, the throughput (``ops_per_sec``) and the
+p50/p99 of the per-round latency — quantiles estimated with the same
+streaming log-bucket :class:`repro.obs.metrics.Histogram` the telemetry
+layer uses, so the trajectory and the status pages speak one dialect.
+
+Committed snapshots are the *trajectory*: each scaling PR re-runs the
+benchmarks and diffs against the committed previous snapshot, so every
+optimization (and every regression) has a measured before/after.  The CI
+``bench-smoke`` job enforces this for the kernel snapshot: a >10% drop in
+any ``ops_per_sec`` fails the build (see :func:`compare` and the CLI at
+the bottom).
+
+Snapshot schema (``schema`` bumps on incompatible change)::
+
+    {
+      "name": "kernel",
+      "schema": 1,
+      "metrics": {
+        "event_throughput": {
+          "ops_per_sec": 1.5e6,   # work units per second (1/mean * scale)
+          "p50_s": 6.6e-7,        # per-unit latency quantiles
+          "p99_s": 8.1e-7,
+          "rounds": 125
+        },
+        ...
+      }
+    }
+
+Wall-clock numbers are machine-dependent; the trajectory compares runs on
+the same machine class (CI runners, or a developer box against its own
+previous run), which is why comparison is a separate explicit step rather
+than part of the snapshot write.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Snapshot file name for a benchmark module name like "kernel".
+SNAPSHOT_SCHEMA = 1
+
+#: CI regression gate: fail when throughput drops by more than this.
+DEFAULT_MAX_REGRESSION = 0.10
+
+
+def snapshot_path(name: str, root: Path = REPO_ROOT) -> Path:
+    return root / f"BENCH_{name}.json"
+
+
+def module_snapshot_name(module_basename: str) -> Optional[str]:
+    """``test_bench_kernel`` -> ``kernel``; None for non-bench modules."""
+    prefix = "test_bench_"
+    if not module_basename.startswith(prefix):
+        return None
+    return module_basename[len(prefix):]
+
+
+def metric_entry(
+    ops_per_sec: float, p50_s: float, p99_s: float, rounds: int
+) -> Dict[str, float]:
+    return {
+        "ops_per_sec": round(ops_per_sec, 3),
+        "p50_s": float(f"{p50_s:.6g}"),
+        "p99_s": float(f"{p99_s:.6g}"),
+        "rounds": rounds,
+    }
+
+
+def quantiles_from_rounds(round_times_s, scale: float = 1.0):
+    """(p50, p99) of per-unit latency via the obs streaming histogram.
+
+    ``scale`` is the number of work units per benchmark round (e.g. hops
+    per walk); each round's time is divided by it so the quantiles are
+    per-unit, matching ``ops_per_sec``.
+    """
+    from repro.obs.metrics import Histogram
+
+    hist = Histogram("bench_round_seconds")
+    for value in round_times_s:
+        hist.observe(value / scale)
+    return hist.quantile(0.5), hist.quantile(0.99)
+
+
+def write_snapshot(
+    name: str, metrics: Dict[str, Dict[str, float]], root: Path = REPO_ROOT
+) -> Path:
+    payload = {
+        "name": name,
+        "schema": SNAPSHOT_SCHEMA,
+        "metrics": {key: metrics[key] for key in sorted(metrics)},
+    }
+    path = snapshot_path(name, root)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_snapshot(path: Path) -> Dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare(
+    previous: Dict, current: Dict, max_regression: float = DEFAULT_MAX_REGRESSION
+) -> List[str]:
+    """Regression report: previous vs. current snapshot.
+
+    Returns one line per metric whose ``ops_per_sec`` dropped by more than
+    ``max_regression``.  Two classes of metric never fail the gate and are
+    reported as ``note:`` lines instead:
+
+    * metrics present on only one side — adding a benchmark must not break
+      CI retroactively;
+    * ``*_baseline`` metrics — they time the deliberately *uncached* old
+      code path (the speedup denominator), which is not part of the
+      trajectory being protected.
+    """
+    failures: List[str] = []
+    prev_metrics = previous.get("metrics", {})
+    curr_metrics = current.get("metrics", {})
+    for key in sorted(set(prev_metrics) | set(curr_metrics)):
+        if key not in prev_metrics:
+            failures.append(f"note: new metric {key} (no previous value)")
+            continue
+        if key not in curr_metrics:
+            failures.append(f"note: metric {key} disappeared from snapshot")
+            continue
+        prev_ops = prev_metrics[key].get("ops_per_sec", 0.0)
+        curr_ops = curr_metrics[key].get("ops_per_sec", 0.0)
+        if prev_ops <= 0:
+            continue
+        change = (curr_ops - prev_ops) / prev_ops
+        if change < -max_regression:
+            line = (
+                f"{key}: ops/sec {prev_ops:.0f} -> {curr_ops:.0f} "
+                f"({change:+.1%}, gate -{max_regression:.0%})"
+            )
+            if key.endswith("_baseline"):
+                failures.append(f"note: baseline drift {line}")
+            else:
+                failures.append(f"REGRESSION {line}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json snapshots (CI regression gate)."
+    )
+    parser.add_argument("command", choices=["compare"], help="subcommand")
+    parser.add_argument("previous", type=Path, help="committed snapshot")
+    parser.add_argument("current", type=Path, help="freshly measured snapshot")
+    parser.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        help="fractional ops/sec drop that fails the gate (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    previous = load_snapshot(args.previous)
+    current = load_snapshot(args.current)
+    lines = compare(previous, current, args.max_regression)
+    hard = [line for line in lines if line.startswith("REGRESSION")]
+    for line in lines:
+        print(line)
+    if hard:
+        print(f"{len(hard)} benchmark regression(s) beyond "
+              f"{args.max_regression:.0%} — failing.")
+        return 1
+    print("perf trajectory OK: no regression beyond "
+          f"{args.max_regression:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

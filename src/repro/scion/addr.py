@@ -82,9 +82,17 @@ def format_as(value: int) -> str:
 
 
 @total_ordering
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class IA:
-    """An <ISD, AS> pair — the inter-domain address of one SCION AS."""
+    """An <ISD, AS> pair — the inter-domain address of one SCION AS.
+
+    IAs key every hot dictionary of the dataplane (routers, topologies,
+    forwarding keys), so equality and hashing are hand-written: the hash is
+    precomputed once at construction — as ``hash((isd, asn))``, the exact
+    value the dataclass-generated ``__hash__`` produced, so set iteration
+    order (and with it every seeded digest) is unchanged — and ``__eq__``
+    compares the two ints directly instead of building field tuples.
+    """
 
     isd: int
     asn: int
@@ -92,6 +100,15 @@ class IA:
     def __post_init__(self) -> None:
         object.__setattr__(self, "isd", parse_isd(self.isd))
         object.__setattr__(self, "asn", parse_as(self.asn))
+        object.__setattr__(self, "_hash", hash((self.isd, self.asn)))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IA):
+            return self.isd == other.isd and self.asn == other.asn
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def parse(cls, text: str) -> "IA":
@@ -101,7 +118,11 @@ class IA:
         return cls(parse_isd(match.group(1)), parse_as(match.group(2)))
 
     def __str__(self) -> str:
-        return f"{self.isd}-{format_as(self.asn)}"
+        cached = self.__dict__.get("_str")
+        if cached is None:
+            cached = f"{self.isd}-{format_as(self.asn)}"
+            self.__dict__["_str"] = cached
+        return cached
 
     def __repr__(self) -> str:
         return f"IA({str(self)!r})"

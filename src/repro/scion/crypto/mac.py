@@ -8,16 +8,30 @@ the "efficient symmetric cryptographic operation" of Section 2 of the paper.
 The MAC binds the segment timestamp, the hop's expiry, its ingress/egress
 interface ids, and a chaining accumulator (``beta``) that ties the hop to
 its position in the segment, preventing hop splicing across segments.
+
+Memoization: hop fields are immutable once minted, and the same hop fields
+are verified on every packet of a flow, so the expected MAC for a given
+``(key, timestamp, expiry, ingress, egress, beta)`` tuple is computed once
+and cached (:func:`cached_hop_mac`).  The cache is a pure memo — it never
+changes any output, only skips recomputing the HMAC — so seeded experiment
+digests are byte-identical with the cache on or off.  :func:`set_mac_cache`
+exists for benchmarks that need the uncached baseline.
 """
 
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 
 from repro.scion.crypto.keys import SymmetricKey
 
 #: MAC length in bytes (SCION uses 6-byte hop field MACs).
 MAC_LEN = 6
+
+#: Bound on distinct (key, hop-input) tuples memoized; at ~90 bytes of key
+#: material per entry this caps the cache at a few MB while covering every
+#: hop field of a beaconing epoch even on large topologies.
+MAC_CACHE_SIZE = 1 << 16
 
 _INPUT = struct.Struct("!IIHHH")  # timestamp, expiry, ingress, egress, beta
 
@@ -44,8 +58,51 @@ def hop_mac(
     egress: int,
     beta: int,
 ) -> bytes:
-    """Compute the truncated hop-field MAC."""
+    """Compute the truncated hop-field MAC (always uncached)."""
     return key.mac(mac_input(timestamp, expiry, ingress, egress, beta))[:MAC_LEN]
+
+
+_memoized_hop_mac = lru_cache(maxsize=MAC_CACHE_SIZE)(hop_mac)
+
+_cache_enabled = True
+
+
+def set_mac_cache(enabled: bool) -> None:
+    """Enable/disable the hop-MAC memo (benchmark baseline knob).
+
+    Disabling also turns off the per-hop-field verification memo in
+    :mod:`repro.scion.path`, so benchmarks measure the genuinely uncached
+    pre-optimization path.
+    """
+    global _cache_enabled
+    _cache_enabled = enabled
+
+
+def cache_enabled() -> bool:
+    return _cache_enabled
+
+
+def clear_mac_cache() -> None:
+    _memoized_hop_mac.cache_clear()
+
+
+def mac_cache_info():
+    """``functools.lru_cache`` statistics for the hop-MAC memo."""
+    return _memoized_hop_mac.cache_info()
+
+
+def cached_hop_mac(
+    key: SymmetricKey,
+    timestamp: int,
+    expiry: int,
+    ingress: int,
+    egress: int,
+    beta: int,
+) -> bytes:
+    """Memoized :func:`hop_mac`; bitwise-identical to the uncached result."""
+    if _cache_enabled:
+        return _memoized_hop_mac(key, timestamp, expiry, ingress, egress, beta)
+    return hop_mac(key, timestamp, expiry, ingress, egress, beta)
 
 
 def verify_hop_mac(
@@ -57,14 +114,21 @@ def verify_hop_mac(
     beta: int,
     mac: bytes,
 ) -> bool:
-    """Constant-pattern verification of a hop-field MAC."""
+    """Constant-pattern verification of a hop-field MAC.
+
+    The length check short-circuits *before* the MAC computation: a
+    wrong-length ``mac`` can never match and computing (or caching) the
+    expected value for it would be wasted work.
+    """
+    if len(mac) != MAC_LEN:
+        return False
     try:
-        expected = hop_mac(key, timestamp, expiry, ingress, egress, beta)
+        expected = cached_hop_mac(key, timestamp, expiry, ingress, egress, beta)
     except ValueError:
         return False
     # hmac.compare_digest semantics without importing hmac for 6 bytes:
     # timing is irrelevant in simulation, correctness is not.
-    return len(mac) == MAC_LEN and expected == mac
+    return expected == mac
 
 
 def chain_beta(beta: int, mac: bytes) -> int:
@@ -74,5 +138,8 @@ def chain_beta(beta: int, mac: bytes) -> int:
     depends on all preceding hops of the segment.
     """
     if len(mac) < 2:
-        raise ValueError("mac too short to chain")
+        raise ValueError(
+            f"mac too short to chain: need at least 2 of the {MAC_LEN} "
+            f"MAC_LEN bytes, got {len(mac)}"
+        )
     return (beta ^ int.from_bytes(mac[:2], "big")) & 0xFFFF

@@ -22,7 +22,7 @@ from repro.scion.crypto.keys import SymmetricKey
 from repro.scion.crypto.rsa import RsaKeyPair
 from repro.scion.dataplane.router import BorderRouter, Verdict
 from repro.scion.packet import ScionPacket
-from repro.scion.path import DataplanePath, oriented_interfaces
+from repro.scion.path import DataplanePath
 from repro.scion.revocation import (
     DEFAULT_REVOCATION_TTL_S,
     Revocation,
@@ -157,48 +157,61 @@ class ScionDataplane:
     # -- analytic walk -----------------------------------------------------------
 
     def walk(self, path: DataplanePath, now: float) -> ProbeResult:
-        """Walk a path once (one way), verifying hops and link state."""
+        """Walk a path once (one way), verifying hops and link state.
+
+        This is the measurement-campaign hot path (millions of probes per
+        experiment): the forwarding plan is the path's cached tuple, the
+        per-iteration state is two scalars, and instance attributes are
+        bound to locals once — the loop allocates nothing until the final
+        :class:`ProbeResult`.
+        """
         records = path.forwarding_plan()
         if not records:
             return ProbeResult(False, failure="empty-path")
+        routers = self.routers
+        topology = self.topology
+        processing = self.router_processing_s
+        count = len(records)
         delay = 0.0
         arrival_ifid: Optional[int] = None
         index = 0
-        while index < len(records):
+        while index < count:
             record = records[index]
-            router = self.routers.get(record.hop.ia)
+            record_ia = record.hop.ia
+            router = routers.get(record_ia)
             if router is None:
                 return ProbeResult(
-                    False, failure="unknown-as", failed_at=record.hop.ia
+                    False, failure="unknown-as", failed_at=record_ia
                 )
-            next_record = records[index + 1] if index + 1 < len(records) else None
+            next_record = records[index + 1] if index + 1 < count else None
             decision = router.decide(record, next_record, arrival_ifid, now)
-            delay += self.router_processing_s
-            if decision.verdict is Verdict.DELIVER:
+            delay += processing
+            verdict = decision.verdict
+            if verdict is Verdict.DELIVER:
                 return ProbeResult(True, rtt_s=2 * delay, one_way_s=delay)
-            if decision.verdict is Verdict.CROSSOVER:
+            if verdict is Verdict.CROSSOVER:
                 index += 1
                 arrival_ifid = None
                 continue
-            if decision.verdict is not Verdict.FORWARD:
-                return self._verdict_result(decision, record.hop.ia, now)
-            link = self.topology.link_between(record.hop.ia, decision.egress_ifid)
+            if verdict is not Verdict.FORWARD:
+                return self._verdict_result(decision, record_ia, now)
+            link = topology.link_between(record_ia, decision.egress_ifid)
             if link is None:
                 return ProbeResult(
-                    False, failure="no-link", failed_at=record.hop.ia
+                    False, failure="no-link", failed_at=record_ia
                 )
             if not link.up:
                 router.link_down_drops.inc()
-                scmp = interface_down(str(record.hop.ia), decision.egress_ifid)
+                scmp = interface_down(str(record_ia), decision.egress_ifid)
                 return ProbeResult(
-                    False, failure="link-down", failed_at=record.hop.ia,
+                    False, failure="link-down", failed_at=record_ia,
                     failed_ifid=decision.egress_ifid,
                     scmp=scmp, revocation=self.revocation_for(scmp, now),
                 )
-            iface = self.topology.get(record.hop.ia).interfaces[decision.egress_ifid]
+            iface = topology.get(record_ia).interfaces[decision.egress_ifid]
             if next_record is None or next_record.hop.ia != iface.remote_ia:
                 return ProbeResult(
-                    False, failure="path-link-mismatch", failed_at=record.hop.ia
+                    False, failure="path-link-mismatch", failed_at=record_ia
                 )
             delay += link.latency_s
             arrival_ifid = iface.remote_ifid
@@ -302,7 +315,7 @@ class ScionDataplane:
                 # Segment switch inside one AS (core joint, shortcut
                 # crossover): no link is crossed.
                 continue
-            _, egress = oriented_interfaces(record.hop, record.info)
+            _, egress = record.oriented()
             link = self.topology.link_between(record.hop.ia, egress)
             if link is None:
                 continue

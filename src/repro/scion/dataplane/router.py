@@ -31,7 +31,7 @@ from typing import Dict, Optional, Set
 from repro.obs import CounterBackedStats, Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.crypto.keys import SymmetricKey
-from repro.scion.path import HopRecord, oriented_interfaces
+from repro.scion.path import HopRecord
 from repro.scion.scmp import ScmpMessage, interface_down
 from repro.scion.topology import AsTopology
 
@@ -56,6 +56,13 @@ class RouterDecision:
     #: callers can attribute the failure without re-deriving the hop.
     egress_ifid: int = 0
     scmp: Optional[ScmpMessage] = None
+
+
+#: Shared immutable decisions for the allocation-free fast paths: DELIVER
+#: and CROSSOVER carry no per-packet state, and each router reuses one
+#: FORWARD decision per egress interface (see ``BorderRouter.decide``).
+_DELIVER = RouterDecision(Verdict.DELIVER)
+_CROSSOVER = RouterDecision(Verdict.CROSSOVER)
 
 
 class RouterStats(CounterBackedStats):
@@ -120,6 +127,10 @@ class BorderRouter:
         )
         self._queue_depth: Dict[int, int] = {}
         self._down_interfaces: Set[int] = set()
+        # One immutable FORWARD decision per egress interface, built lazily:
+        # forwarding is the overwhelmingly common verdict and the decision
+        # for a given egress never changes.
+        self._forward_decisions: Dict[int, RouterDecision] = {}
 
     def decide(
         self,
@@ -145,7 +156,7 @@ class BorderRouter:
             return self._drop_decision(Verdict.DROP_EXPIRED)
         if not hop.verify(self._key, record.info.timestamp):
             return self._drop_decision(Verdict.DROP_BAD_MAC)
-        ingress, egress = oriented_interfaces(hop, record.info)
+        ingress, egress = record.oriented()
         if (
             arrival_ifid is not None
             and not record.is_seg_first
@@ -153,24 +164,26 @@ class BorderRouter:
         ):
             return self._drop_decision(Verdict.DROP_WRONG_INGRESS)
 
-        last_overall = next_record is None
-        if last_overall:
-            return RouterDecision(Verdict.DELIVER)
+        if next_record is None:
+            return _DELIVER
         if record.is_seg_last and next_record.hop.ia == self.ia:
             # Segment switch within this AS (core joint or shortcut):
             # egress comes from the next hop field.
-            return RouterDecision(Verdict.CROSSOVER)
+            return _CROSSOVER
         # Normal forwarding — including peering crossovers, where the last
         # hop of a segment egresses over the peer link to a different AS.
         if egress == 0:
             # Terminal hop field but the path continues: malformed.
             return self._drop_decision(Verdict.DROP_NO_INTERFACE)
-        iface = self.topology.interfaces.get(egress)
-        if iface is None:
+        if egress not in self.topology.interfaces:
             return self._drop_decision(Verdict.DROP_NO_INTERFACE, egress)
         if egress in self._down_interfaces:
             return self._drop_decision(Verdict.DROP_INTERFACE_DOWN, egress)
-        return RouterDecision(Verdict.FORWARD, egress_ifid=egress)
+        decision = self._forward_decisions.get(egress)
+        if decision is None:
+            decision = RouterDecision(Verdict.FORWARD, egress_ifid=egress)
+            self._forward_decisions[egress] = decision
+        return decision
 
     def _drop_decision(self, verdict: Verdict, egress_ifid: int = 0) -> RouterDecision:
         self._drop_counters[verdict].inc()

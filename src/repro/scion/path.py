@@ -10,16 +10,28 @@ accumulator ``beta`` is stored explicitly in each hop field rather than
 being recovered by the router via the segID XOR trick; routers still
 recompute and verify the MAC with their own secret key, so hop fields
 remain unforgeable and unsplicable by anyone else.
+
+Performance: a :class:`DataplanePath` is immutable, but its derived views
+(forwarding plan, hop list, interface ids, fingerprint) used to be rebuilt
+on every packet walk — the dominant allocation source on the dataplane hot
+path.  They are now computed once per path and cached on the instance
+(frozen dataclasses keep a ``__dict__``, so the memo bypasses the frozen
+``__setattr__`` without affecting equality or hashing, which remain
+field-based).  Interface-id strings are ``sys.intern``-ed: measurement
+campaigns compare millions of them for disjointness and set membership,
+and interning turns those comparisons into pointer checks.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+import sys
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.scion.addr import IA
 from repro.scion.crypto.keys import SymmetricKey
+from repro.scion.crypto import mac as mac_mod
 from repro.scion.crypto.mac import chain_beta, hop_mac, verify_hop_mac
 
 #: Default hop-field lifetime (SCION's coarse-grained 6h units; we use 24h).
@@ -57,10 +69,28 @@ class HopField:
         return cls(ia, cons_ingress, cons_egress, exp, beta, mac)
 
     def verify(self, key: SymmetricKey, timestamp: int) -> bool:
-        return verify_hop_mac(
+        """Check the MAC, memoizing the verdict per ``(key, timestamp)``.
+
+        A hop field is verified with the same key and segment timestamp on
+        every packet that carries it, so the last verdict is cached on the
+        instance (immutable inputs → the verdict can never change).  The
+        memo honours :func:`repro.scion.crypto.mac.set_mac_cache` so
+        benchmarks can measure the uncached baseline.
+        """
+        if not mac_mod.cache_enabled():
+            return verify_hop_mac(
+                key, timestamp, self.expiry, self.cons_ingress,
+                self.cons_egress, self.beta, self.mac,
+            )
+        memo = self.__dict__.get("_verify_memo")
+        if memo is not None and memo[0] is key and memo[1] == timestamp:
+            return memo[2]
+        ok = verify_hop_mac(
             key, timestamp, self.expiry, self.cons_ingress, self.cons_egress,
             self.beta, self.mac,
         )
+        self.__dict__["_verify_memo"] = (key, timestamp, ok)
+        return ok
 
     def next_beta(self) -> int:
         return chain_beta(self.beta, self.mac)
@@ -94,7 +124,12 @@ class PathSegmentHops:
 
 @dataclass(frozen=True)
 class DataplanePath:
-    """A complete end-to-end path: 1-3 segments."""
+    """A complete end-to-end path: 1-3 segments.
+
+    Derived views are memoized per instance (the path is immutable); all
+    cached values are pure functions of the segments, so caching cannot
+    change any observable result — only skip rebuilding it.
+    """
 
     segments: Tuple[PathSegmentHops, ...]
 
@@ -102,13 +137,23 @@ class DataplanePath:
         if not (1 <= len(self.segments) <= 3):
             raise PathError(f"a path has 1..3 segments, got {len(self.segments)}")
 
-    def hops(self) -> List[Tuple[HopField, InfoField]]:
+    def _memo(self, key: str, build):
+        cached = self.__dict__.get(key)
+        if cached is None:
+            cached = build()
+            self.__dict__[key] = cached
+        return cached
+
+    def hops(self) -> Tuple[Tuple[HopField, InfoField], ...]:
         """All hops in forwarding order, paired with their info field."""
+        return self._memo("_hops", self._build_hops)
+
+    def _build_hops(self) -> Tuple[Tuple[HopField, InfoField], ...]:
         out: List[Tuple[HopField, InfoField]] = []
         for seg in self.segments:
             for hop in seg.forwarding_hops():
                 out.append((hop, seg.info))
-        return out
+        return tuple(out)
 
     def as_sequence(self) -> List[IA]:
         """The sequence of ASes visited, de-duplicating segment joints."""
@@ -118,22 +163,34 @@ class DataplanePath:
                 seq.append(hop.ia)
         return seq
 
-    def forwarding_plan(self) -> List["HopRecord"]:
-        """All hops in forwarding order with segment-boundary annotations."""
+    def forwarding_plan(self) -> Tuple["HopRecord", ...]:
+        """All hops in forwarding order with segment-boundary annotations.
+
+        Built once and cached: every packet walk and every event-driven hop
+        used to rebuild this list, which made per-hop cost O(path length).
+        """
+        return self._memo("_plan", self.build_forwarding_plan)
+
+    def build_forwarding_plan(self) -> Tuple["HopRecord", ...]:
+        """Uncached plan construction (the benchmark baseline path)."""
         out: List[HopRecord] = []
         for seg_index, seg in enumerate(self.segments):
             fwd = seg.forwarding_hops()
+            last = len(fwd) - 1
             for pos, hop in enumerate(fwd):
+                ingress, egress = oriented_interfaces(hop, seg.info)
                 out.append(
                     HopRecord(
                         hop=hop,
                         info=seg.info,
                         seg_index=seg_index,
                         is_seg_first=(pos == 0),
-                        is_seg_last=(pos == len(fwd) - 1),
+                        is_seg_last=(pos == last),
+                        ingress=ingress,
+                        egress=egress,
                     )
                 )
-        return out
+        return tuple(out)
 
     @property
     def src_ia(self) -> IA:
@@ -143,19 +200,30 @@ class DataplanePath:
     def dst_ia(self) -> IA:
         return self.hops()[-1][0].ia
 
-    def interface_ids(self) -> List[str]:
-        """Globally unique interface ids traversed (paper, Section 5.4)."""
+    def interface_ids(self) -> Tuple[str, ...]:
+        """Globally unique interface ids traversed (paper, Section 5.4).
+
+        The strings are interned and the tuple cached — disjointness and
+        set-membership checks over millions of probes then compare by
+        identity in the common case.
+        """
+        return self._memo("_iface_ids", self._build_interface_ids)
+
+    def _build_interface_ids(self) -> Tuple[str, ...]:
         ids: List[str] = []
-        for hop, info in self.hops():
-            ingress, egress = oriented_interfaces(hop, info)
-            if ingress:
-                ids.append(f"{hop.ia}#{ingress}")
-            if egress:
-                ids.append(f"{hop.ia}#{egress}")
-        return ids
+        for record in self.forwarding_plan():
+            hop = record.hop
+            if record.ingress:
+                ids.append(sys.intern(f"{hop.ia}#{record.ingress}"))
+            if record.egress:
+                ids.append(sys.intern(f"{hop.ia}#{record.egress}"))
+        return tuple(ids)
 
     def fingerprint(self) -> str:
         """Stable short identifier for this path (by interfaces traversed)."""
+        return self._memo("_fingerprint", self._build_fingerprint)
+
+    def _build_fingerprint(self) -> str:
         raw = "|".join(self.interface_ids()).encode()
         return hashlib.sha256(raw).hexdigest()[:16]
 
@@ -168,13 +236,27 @@ class DataplanePath:
 
 @dataclass(frozen=True)
 class HopRecord:
-    """One hop in forwarding order, with its segment position."""
+    """One hop in forwarding order, with its segment position.
+
+    ``ingress``/``egress`` are the *oriented* interfaces (travel direction
+    applied), precomputed at plan build so routers do not re-derive them per
+    packet; ``-1`` means "not precomputed" and :meth:`oriented` falls back
+    to deriving them from the hop and info fields.
+    """
 
     hop: HopField
     info: InfoField
     seg_index: int
     is_seg_first: bool
     is_seg_last: bool
+    ingress: int = -1
+    egress: int = -1
+
+    def oriented(self) -> Tuple[int, int]:
+        """(actual ingress, actual egress) given the travel direction."""
+        if self.ingress >= 0:
+            return self.ingress, self.egress
+        return oriented_interfaces(self.hop, self.info)
 
 
 def oriented_interfaces(hop: HopField, info: InfoField) -> Tuple[int, int]:
@@ -207,7 +289,7 @@ class PathMeta:
         return self.path.fingerprint()
 
     @property
-    def interfaces(self) -> List[str]:
+    def interfaces(self) -> Sequence[str]:
         return self.path.interface_ids()
 
     @property

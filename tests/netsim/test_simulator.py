@@ -109,3 +109,175 @@ def test_events_processed_counter():
         sim.schedule(1.0, lambda: None)
     sim.run_until_idle()
     assert sim.events_processed == 5
+
+
+# -- until + max_events interaction (the monotonic-clock contract) -----------
+
+
+def test_run_until_with_max_events_advances_clock_when_window_done():
+    """Regression: max_events used to skip the ``now = until`` fast-forward.
+
+    Both events fire inside the window and nothing else is runnable before
+    ``until``, so the clock must land exactly on ``until`` — the old code
+    returned early at 2.0 and a later ``run(until=3.0)`` saw time move in a
+    way the caller (who believed now == 5.0) could not explain.
+    """
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    processed = sim.run(until=5.0, max_events=2)
+    assert processed == 2
+    assert fired == ["a", "b"]
+    assert sim.now == 5.0
+
+
+def test_run_max_events_truncation_leaves_clock_at_last_event():
+    """A genuine truncation may not jump the clock past unprocessed events."""
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, fired.append, t)
+    processed = sim.run(until=5.0, max_events=2)
+    assert processed == 2
+    assert fired == [1.0, 2.0]
+    # Event at 3.0 is still pending inside the window: no fast-forward.
+    assert sim.now == 2.0
+    # Finishing the window completes the contract: clock lands on until.
+    assert sim.run(until=5.0) == 1
+    assert fired == [1.0, 2.0, 3.0]
+    assert sim.now == 5.0
+
+
+def test_run_max_events_zero_fires_nothing():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "x")
+    assert sim.run(max_events=0) == 0
+    assert fired == []
+    assert sim.pending_events == 1
+
+
+def test_run_until_skips_cancelled_events_when_fast_forwarding():
+    """Only *live* events inside the window block the fast-forward."""
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(3.0, fired.append, "dead")
+    sim.schedule(1.0, fired.append, "live")
+    timer.cancel()
+    processed = sim.run(until=5.0, max_events=1)
+    assert processed == 1
+    assert fired == ["live"]
+    assert sim.now == 5.0
+
+
+def test_repeated_runs_keep_clock_monotonic():
+    sim = Simulator()
+    observed = []
+    for t in (0.5, 1.5, 2.5, 3.5):
+        sim.schedule(t, lambda: observed.append(sim.now))
+    last = 0.0
+    for until in (1.0, 2.0, 2.0, 4.0, 3.0):
+        sim.run(until=until, max_events=1)
+        assert sim.now >= last
+        last = sim.now
+    assert observed == sorted(observed)
+
+
+# -- cancellation-heavy heaps (live counter + lazy compaction) ---------------
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    timers = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    for timer in timers[:4]:
+        timer.cancel()
+    assert sim.pending_events == 6
+    # Double-cancel must not decrement twice.
+    timers[0].cancel()
+    assert sim.pending_events == 6
+    sim.run_until_idle()
+    assert sim.pending_events == 0
+    assert sim.events_processed == 6
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, fired.append, "x")
+    sim.run_until_idle()
+    assert fired == ["x"]
+    timer.cancel()  # too late, but must not corrupt the live counter
+    assert sim.pending_events == 0
+    sim.schedule(1.0, fired.append, "y")
+    assert sim.pending_events == 1
+    sim.run_until_idle()
+    assert fired == ["x", "y"]
+
+
+def test_mass_cancellation_compacts_heap():
+    """Timer churn must not grow the heap unboundedly."""
+    sim = Simulator()
+    timers = [sim.schedule(1.0 + i * 1e-3, lambda: None) for i in range(1000)]
+    for timer in timers[100:]:
+        timer.cancel()
+    assert sim.pending_events == 100
+    # Lazy compaction kicked in: far fewer raw entries than scheduled.
+    assert sim.heap_size <= 500
+    sim.run_until_idle()
+    assert sim.events_processed == 100
+
+
+def test_compaction_preserves_event_order():
+    """Compaction re-heapifies; (when, seq) total order must survive."""
+    sim = Simulator()
+    order = []
+    keep = []
+    for i in range(900):
+        timer = sim.schedule(1.0, order.append, i)  # all tie on time
+        if i % 3 == 0:
+            keep.append(i)
+        else:
+            # Cancelling two of every three drives the cancelled count past
+            # both compaction conditions mid-loop.
+            timer.cancel()
+    assert sim.heap_size < 900
+    sim.run_until_idle()
+    assert order == keep  # scheduling order preserved across compaction
+
+
+def test_run_until_idle_ignores_cancelled_timers_in_backstop():
+    """A heap full of cancelled timers is idle, not runaway."""
+    sim = Simulator()
+    fired = []
+    for i in range(50):
+        sim.schedule(1.0 + i, fired.append, i)
+    dead = [sim.schedule(100.0 + i, fired.append, -1) for i in range(500)]
+    for timer in dead:
+        timer.cancel()
+    sim.run_until_idle(max_events=50)  # must not raise
+    assert len(fired) == 50
+    assert sim.pending_events == 0
+
+
+# -- processes that raise -----------------------------------------------------
+
+
+def test_spawn_process_exception_propagates_and_sim_stays_usable():
+    sim = Simulator()
+
+    def bad_process():
+        yield 1.0
+        raise RuntimeError("process blew up")
+
+    sim.spawn(bad_process())
+    with pytest.raises(RuntimeError, match="process blew up"):
+        sim.run_until_idle()
+    # The clock stayed at the event that raised; the simulator is usable.
+    assert sim.now == 1.0
+    fired = []
+    sim.schedule(1.0, fired.append, "after")
+    sim.run_until_idle()
+    assert fired == ["after"]
+    assert sim.now == 2.0
