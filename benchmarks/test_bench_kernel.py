@@ -122,19 +122,31 @@ def test_bench_walk_hops_baseline(benchmark, world):
 
 
 def test_walk_speedup_vs_baseline(world):
-    """The kernel perf pass acceptance bar: optimized walk >= 2x baseline."""
+    """The kernel perf pass acceptance bar: optimized walk >= 2x baseline.
+
+    Both sides are timed as the *best of N* windows: on a noisy shared CI
+    runner a single preempted window can halve a measured ratio, but the
+    minimum over several windows approaches the true (uncontended) cost,
+    so scheduler noise can only ever make the measured speedup look
+    *better* on the baseline side and *worse* symmetrically — not fail
+    the assertion on unchanged code.
+    """
     net, path = _bench_path(world)
     now = net.timestamp
     segments = path.segments
-    rounds = 2_000
+    rounds = 500
+    windows = 5
 
     def timed(fn) -> float:
         for _ in range(200):  # warmup (fills caches in optimized mode)
             fn()
-        start = time.perf_counter()
-        for _ in range(rounds):
-            fn()
-        return time.perf_counter() - start
+        best = float("inf")
+        for _ in range(windows):
+            start = time.perf_counter()
+            for _ in range(rounds):
+                fn()
+            best = min(best, time.perf_counter() - start)
+        return best
 
     set_mac_cache(False)
     try:

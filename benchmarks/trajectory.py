@@ -10,9 +10,13 @@ layer uses, so the trajectory and the status pages speak one dialect.
 Committed snapshots are the *trajectory*: each scaling PR re-runs the
 benchmarks and diffs against the committed previous snapshot, so every
 optimization (and every regression) has a measured before/after.  The CI
-``bench-smoke`` job enforces this for the kernel snapshot: a >10% drop in
-any ``ops_per_sec`` fails the build (see :func:`compare` and the CLI at
-the bottom).
+``bench-smoke`` job runs this comparison for the kernel snapshot (see
+:func:`compare` and the CLI at the bottom).  Because wall-clock numbers
+are only comparable within the same machine class, the comparison is
+**report-only** (``--warn-only``) until the committed snapshot has been
+regenerated on the CI runner class itself; a >10% ``ops_per_sec`` drop is
+printed as a REGRESSION line either way, and the hard gate (exit 1) is
+enabled by dropping the flag once a same-class baseline is committed.
 
 Snapshot schema (``schema`` bumps on incompatible change)::
 
@@ -162,6 +166,13 @@ def main(argv=None) -> int:
         "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
         help="fractional ops/sec drop that fails the gate (default 0.10)",
     )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but always exit 0 — for comparisons across "
+             "machine classes (e.g. a committed developer-box snapshot vs a "
+             "shared CI runner), where wall-clock deltas are dominated by "
+             "hardware, not code",
+    )
     args = parser.parse_args(argv)
 
     previous = load_snapshot(args.previous)
@@ -172,8 +183,10 @@ def main(argv=None) -> int:
         print(line)
     if hard:
         print(f"{len(hard)} benchmark regression(s) beyond "
-              f"{args.max_regression:.0%} — failing.")
-        return 1
+              f"{args.max_regression:.0%}"
+              + (" — warn-only, not failing." if args.warn_only
+                 else " — failing."))
+        return 0 if args.warn_only else 1
     print("perf trajectory OK: no regression beyond "
           f"{args.max_regression:.0%}.")
     return 0

@@ -138,13 +138,21 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify.
+        """Drop cancelled entries and re-heapify — **in place**.
 
         Entries are totally ordered by their unique (when, seq) prefix, so
         rebuilding the heap cannot reorder the surviving events: pop order
         — and therefore every seeded digest — is unchanged.
+
+        The list object must keep its identity: ``run`` and
+        ``_runnable_before`` hold a local reference to ``self._heap`` while
+        a callback may cancel enough timers to trigger compaction.
+        Rebinding ``self._heap`` to a fresh list here would leave those
+        loops popping a stale list (events firing twice, the live counter
+        going negative), so the filtered result is written back through a
+        slice assignment instead.
         """
-        self._heap = [entry for entry in self._heap if not entry[2]._cancelled]
+        self._heap[:] = [entry for entry in self._heap if not entry[2]._cancelled]
         heapq.heapify(self._heap)
 
     def spawn(self, process: Generator[float, None, None]) -> None:

@@ -1,8 +1,10 @@
 """Unit tests for the discrete-event simulator."""
 
+from collections import Counter
+
 import pytest
 
-from repro.netsim.simulator import SimulationError, Simulator
+from repro.netsim.simulator import COMPACT_MIN_CANCELLED, SimulationError, Simulator
 
 
 def test_events_run_in_time_order():
@@ -245,6 +247,49 @@ def test_compaction_preserves_event_order():
     assert sim.heap_size < 900
     sim.run_until_idle()
     assert order == keep  # scheduling order preserved across compaction
+
+
+def test_mid_run_mass_cancellation_fires_each_event_exactly_once():
+    """Regression: compaction triggered *by a running callback* must not
+    invalidate the heap ``run`` is iterating.
+
+    ``_compact`` used to rebind ``self._heap`` to a new list while ``run``
+    kept popping a local alias of the old one: live events fired from the
+    stale list but survived in the new heap (firing again on the next
+    ``run``), the live counter went negative, and events scheduled by
+    callbacks after compaction were silently skipped for the rest of the
+    window.  Compaction now happens in place, preserving list identity.
+    """
+    sim = Simulator()
+    fired = Counter()
+    n_victims = COMPACT_MIN_CANCELLED + 50
+    victims = [
+        sim.schedule(2.0 + i * 1e-3, fired.update, ("victim",))
+        for i in range(n_victims)
+    ]
+    n_survivors = 5
+    for i in range(n_survivors):
+        sim.schedule(3.0 + i, fired.update, (f"live-{i}",))
+
+    def massacre():
+        # Cancelling this many timers mid-run drives the cancelled count
+        # past both compaction conditions while run() is iterating.
+        for timer in victims:
+            timer.cancel()
+        assert sim.heap_size < n_victims  # compaction actually happened
+        # Scheduled *after* compaction: must still fire in this window.
+        sim.schedule(1.0, fired.update, ("post-compact",))
+
+    sim.schedule(1.0, massacre)
+    sim.run_until_idle()
+    assert fired["victim"] == 0
+    assert fired["post-compact"] == 1
+    assert all(fired[f"live-{i}"] == 1 for i in range(n_survivors))
+    assert sim.pending_events == 0
+    assert sim.now == pytest.approx(3.0 + n_survivors - 1)
+    # A second run must not re-fire anything from a stale heap.
+    sim.run_until_idle()
+    assert sum(fired.values()) == n_survivors + 1
 
 
 def test_run_until_idle_ignores_cancelled_timers_in_backstop():
