@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the overload-control hot path.
+
+Admission is consulted on every guarded request, so its cost is a tax on
+the whole control plane.  Two angles:
+
+* raw guard throughput — ``offer()`` with an advancing clock (the
+  steady-state drain-and-admit path) and under saturation (the CoDel
+  bookkeeping path);
+* protected-storm goodput — the ``overload`` experiment's client
+  discipline at capacity, per offered request.
+
+Snapshots land in ``BENCH_overload.json`` (see ``trajectory.py``); the
+``overload-smoke`` CI job regenerates them next to the fast experiment.
+"""
+
+import pytest
+
+from repro.core.overload import CircuitBreaker, OverloadGuard, RetryBudget
+from repro.experiments import overload as exp
+from repro.scion.network import ScionNetwork
+
+OFFERS = 2_000
+
+
+def test_bench_guard_admission(benchmark):
+    """Steady state: the clock outruns the service time, everything admits."""
+
+    def offers():
+        guard = OverloadGuard(0.002, queue_capacity=256)
+        t = 0.0
+        for _ in range(OFFERS):
+            t += 0.0021
+            guard.offer(t)
+        return guard
+
+    guard = benchmark(offers)
+    benchmark.extra_info["units_per_op"] = OFFERS
+    assert guard.stats.admitted == OFFERS
+
+
+def test_bench_guard_saturated(benchmark):
+    """Saturation: bound checks, CoDel shedding, and deadline rejections."""
+
+    def offers():
+        guard = OverloadGuard(0.002, queue_capacity=64)
+        t = 0.0
+        for i in range(OFFERS):
+            t += 0.0002  # 10x the service rate: the queue stays full
+            guard.offer(t, deadline_s=t + 0.050, priority=i % 2)
+        return guard
+
+    guard = benchmark(offers)
+    benchmark.extra_info["units_per_op"] = OFFERS
+    assert guard.stats.offered == OFFERS
+    assert guard.stats.rejected + guard.stats.shed > 0
+
+
+def test_bench_retry_budget_and_breaker(benchmark):
+    """The client-side gates: one request+retry decision per unit."""
+
+    def decisions():
+        budget = RetryBudget(ratio=0.1, capacity=10.0)
+        breaker = CircuitBreaker(failure_threshold=5, reset_timeout_s=1.0)
+        t = 0.0
+        for i in range(OFFERS):
+            t += 0.001
+            budget.on_request()
+            if breaker.allow(t):
+                (breaker.record_success if i % 3 else
+                 breaker.record_failure)(t)
+            else:
+                budget.try_retry()
+        return budget
+
+    budget = benchmark(decisions)
+    benchmark.extra_info["units_per_op"] = OFFERS
+    assert budget.spent + budget.exhausted >= 0
+
+
+@pytest.fixture(scope="module")
+def storm_network():
+    return ScionNetwork(exp._topology(), seed=17)
+
+
+def test_bench_protected_goodput(benchmark, storm_network):
+    """The experiment's protected client discipline at capacity.
+
+    Per-unit = one offered request through guard admission, deadline
+    bookkeeping, and the lookup itself — the end-to-end cost of a
+    protected control-plane transaction.
+    """
+    rate = exp.CAPACITY_RPS
+
+    def storm():
+        return exp._run_constant(
+            storm_network, protected=True, rate_rps=rate,
+            duration_s=1.0, seed=17,
+        )
+
+    point = benchmark(storm)
+    benchmark.extra_info["units_per_op"] = rate  # ~rate offers per second
+    assert point["goodput_rps"] > 0

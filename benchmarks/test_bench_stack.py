@@ -7,6 +7,7 @@ encode/decode, and end-to-end path lookup with segment combination.
 
 from conftest import report  # noqa: F401  (kept for symmetry)
 
+from repro.core.overload import OverloadGuard
 from repro.scion.addr import IA
 from repro.scion.crypto.keys import SymmetricKey
 from repro.scion.crypto.mac import hop_mac, verify_hop_mac
@@ -54,3 +55,31 @@ def test_bench_path_lookup(benchmark, world):
 
     paths = benchmark(lookup)
     assert paths
+
+
+def test_bench_path_lookup_guarded(benchmark, world):
+    """The same lookup behind overload admission — measures the guard tax.
+
+    Compared against ``path_lookup`` in the BENCH_stack.json trajectory:
+    the admission decision (drain, bound check, CoDel bookkeeping) must
+    stay within a few percent of the unprotected lookup.  The clock
+    advances past the modeled service time each round so the virtual
+    queue drains and every request is admitted.
+    """
+    net = world.network
+    src, dst = IA.parse("71-2:0:42"), IA.parse("71-50999")
+    server = net.services[src].path_server
+    guard = OverloadGuard(1e-6, name="bench", queue_capacity=256)
+    clock = {"now": 0.0}
+
+    def lookup():
+        clock["now"] += 0.001
+        return net.paths(src, dst, refresh=True, now=clock["now"])
+
+    server.guard = guard
+    try:
+        paths = benchmark(lookup)
+    finally:
+        server.guard = None
+    assert paths
+    assert guard.stats.admitted == guard.stats.offered  # nothing refused

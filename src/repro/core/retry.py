@@ -176,7 +176,10 @@ class RetrySchedule:
         )
         if (
             policy.deadline_s is not None
-            and self.elapsed_s + self.backoff_total_s + backoff > policy.deadline_s
+            # ``>=``, not ``>``: a jittered backoff landing exactly on the
+            # boundary leaves zero budget for the attempt it precedes, so
+            # scheduling it would start an attempt past the deadline.
+            and self.elapsed_s + self.backoff_total_s + backoff >= policy.deadline_s
         ):
             return None
         self._prev_backoff_s = backoff

@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.overload import CircuitBreaker, RetryBudget
 from repro.core.retry import RetryPolicy
 from repro.obs import Telemetry, resolve
 from repro.endhost.bootstrap.hinting import (
@@ -102,6 +103,8 @@ class Bootstrapper:
         pinned_trcs: Optional[Sequence[Trc]] = None,
         retry_policy: Optional[RetryPolicy] = None,
         telemetry: Optional[Telemetry] = None,
+        retry_budget: Optional["RetryBudget"] = None,
+        breaker: Optional["CircuitBreaker"] = None,
     ):
         if os_name not in OS_MODELS:
             raise BootstrapError(
@@ -118,6 +121,13 @@ class Bootstrapper:
         self.pinned_trcs = list(pinned_trcs or [])
         #: None = fail fast on the first error (the pre-chaos behaviour)
         self.retry_policy = retry_policy
+        #: Optional overload discipline on top of the retry policy: each
+        #: retry (not the first attempt) spends a token from the shared
+        #: per-client budget, and an open breaker fails the bootstrap
+        #: locally until its reset timeout — so a fleet of rebooting hosts
+        #: cannot DDoS a browned-out bootstrap server.
+        self.retry_budget = retry_budget
+        self.breaker = breaker
         tel = resolve(telemetry)
         self._telemetry = tel
         if tel.enabled:
@@ -287,7 +297,16 @@ class Bootstrapper:
         wait_total = 0.0
         tried_total = 0
         attempts = 0
+        if self.retry_budget is not None:
+            self.retry_budget.on_request()
         while True:
+            now_est = self.now + hint_total + config_total + wait_total
+            if self.breaker is not None and not self.breaker.allow(now_est):
+                raise TransientBootstrapError(
+                    "bootstrap circuit open: server browned out, waiting "
+                    "for the breaker's reset timeout",
+                    cost_s=0.0,
+                )
             attempts += 1
             if tel.enabled:
                 self._attempt_counter.inc()
@@ -312,6 +331,10 @@ class Bootstrapper:
                         now=self.now + hint_total + config_total + wait_total,
                         parent=root,
                         server=f"{hint.server_ip}:{hint.server_port}",
+                    )
+                if self.breaker is not None:
+                    self.breaker.record_success(
+                        self.now + hint_total + config_total + wait_total
                     )
                 return BootstrapResult(
                     topology=document,
@@ -345,8 +368,21 @@ class Bootstrapper:
                 else:
                     config_total += exc.cost_s
                     failed_servers.add((hint.server_ip, hint.server_port))
+                if self.breaker is not None:
+                    self.breaker.record_failure(
+                        self.now + hint_total + config_total + wait_total
+                    )
                 if schedule is None:
                     raise
+                if (
+                    self.retry_budget is not None
+                    and not self.retry_budget.try_retry()
+                ):
+                    raise TransientBootstrapError(
+                        f"bootstrap retry budget exhausted after {attempts} "
+                        f"attempts: {exc}",
+                        cost_s=exc.cost_s,
+                    ) from exc
                 schedule.charge(self.retry_policy.clamp_cost(exc.cost_s))
                 backoff = schedule.next_backoff_s()
                 if backoff is None:

@@ -27,6 +27,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.core.overload import OverloadRejected
 from repro.obs import CounterBackedStats, Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.control.service import TrustStore
@@ -34,7 +35,12 @@ from repro.scion.crypto.trc import Trc
 from repro.scion.network import ScionNetwork
 from repro.scion.path import PathMeta
 from repro.scion.revocation import Revocation
-from repro.scion.scmp import CODE_UNKNOWN_PATH_INTERFACE, ScmpMessage, ScmpType
+from repro.scion.scmp import (
+    CODE_QUEUE_FULL,
+    CODE_UNKNOWN_PATH_INTERFACE,
+    ScmpMessage,
+    ScmpType,
+)
 
 
 class DaemonStats(CounterBackedStats):
@@ -70,12 +76,20 @@ class DaemonStats(CounterBackedStats):
         hosts' failures propagating to this one).
     paths_evicted:
         Cached paths dropped because a revocation covered them.
+    rejected_overload:
+        Fetches refused by the path server's overload admission; the
+        daemon serves stale instead of retrying (subset of
+        ``failed_fetches``).
+    scmp_congestion:
+        SCMP QUEUE_FULL congestion signals received.  Counted but never
+        down-marked: a congested interface is alive.
     """
 
     FIELDS = (
         "lookups", "cache_hits", "fetches", "refreshes", "failed_fetches",
         "stale_served", "scmp_interface_down", "revocations_received",
         "revocations_pushed", "revocations_pulled", "paths_evicted",
+        "rejected_overload", "scmp_congestion",
     )
     PREFIX = "daemon"
 
@@ -111,32 +125,51 @@ class Daemon:
         self.trust_store = TrustStore()
         for isd in network.topology.isds():
             self.trust_store.add_trc(network.trc_for(isd))
-        #: control-plane fetch, overridable for fault injection
-        self._fetch = fetch or (lambda dst: self.network.paths(self.ia, dst))
+        #: control-plane fetch, overridable for fault injection (None =
+        #: the network's path lookup, with deadline propagation)
+        self._fetch = fetch
         #: dst -> (fetch time, paths)
         self._cache: Dict[IA, Tuple[float, List[PathMeta]]] = {}
         #: interface id -> time at which the down-report expires
         self._down_interfaces: Dict[str, float] = {}
 
-    def lookup(self, dst: IA, now: float = 0.0) -> List[PathMeta]:
+    def lookup(
+        self, dst: IA, now: float = 0.0, deadline_s: Optional[float] = None
+    ) -> List[PathMeta]:
         """Paths to ``dst``, served from cache within the TTL.
 
         Paths containing interfaces reported down via SCMP are filtered out
         until the report expires or the next re-probe — this is the
         "switching paths instantly" behaviour of Section 4.7.  A failed
         refresh serves the previous (expired) paths marked ``stale``.
+
+        ``deadline_s`` (absolute sim time) propagates downstream into the
+        path server's overload admission.  An overload rejection is *not*
+        retried — the daemon degrades to the stale-serve path immediately,
+        so browned-out servers see less load, not more.
         """
         tel = self.telemetry
         if not tel.enabled:
-            return self._lookup(dst, now)
+            return self._lookup(dst, now, deadline_s)
         with tel.tracer.span(
             "daemon.lookup", now=now, host=str(self.ia), dst=str(dst)
         ) as span:
-            paths = self._lookup(dst, now)
+            paths = self._lookup(dst, now, deadline_s)
             span.attrs["paths"] = str(len(paths))
             return paths
 
-    def _lookup(self, dst: IA, now: float) -> List[PathMeta]:
+    def _do_fetch(
+        self, dst: IA, now: float, deadline_s: Optional[float]
+    ) -> List[PathMeta]:
+        if self._fetch is not None:
+            return self._fetch(dst)
+        if deadline_s is None:
+            return self.network.paths(self.ia, dst)
+        return self.network.paths(self.ia, dst, now=now, deadline_s=deadline_s)
+
+    def _lookup(
+        self, dst: IA, now: float, deadline_s: Optional[float] = None
+    ) -> List[PathMeta]:
         self.stats.inc("lookups")
         self._expire_down_interfaces(now)
         self._pull_revocations(now)
@@ -147,7 +180,12 @@ class Daemon:
         else:
             self.stats.inc("fetches")
             try:
-                paths = self._fetch(dst)
+                paths = self._do_fetch(dst, now, deadline_s)
+            except OverloadRejected:
+                # The server said "not now" — honoring that means serving
+                # stale (below), never retrying into the brownout.
+                self.stats.inc("rejected_overload")
+                paths = []
             except Exception:
                 paths = []
             if paths:
@@ -187,6 +225,21 @@ class Daemon:
         ``propagate_revocations`` off the token is ignored — the
         pre-pipeline behaviour of short, per-host down reports.
         """
+        if (
+            message.scmp_type is ScmpType.DESTINATION_UNREACHABLE
+            and message.code == CODE_QUEUE_FULL
+        ):
+            # Congestion, not failure: the interface is alive, just busy.
+            # Count it (senders back off through pan's retry budget) but
+            # never mark the interface down — a surge must not look like
+            # an outage.
+            self.stats.inc("scmp_congestion")
+            if self.telemetry.enabled:
+                self.telemetry.tracer.add(
+                    "scmp.congestion", now=now,
+                    origin=str(message.origin_ia), ifid=str(message.info),
+                )
+            return
         interface_scoped = message.scmp_type is ScmpType.EXTERNAL_INTERFACE_DOWN or (
             message.scmp_type is ScmpType.PARAMETER_PROBLEM
             and message.code == CODE_UNKNOWN_PATH_INTERFACE

@@ -61,6 +61,8 @@ EXPERIMENTS: Dict[str, Tuple[str, str]] = {
                       "Control-plane self-healing under chaos (Section 5.4)"),
     "revocation_storm": ("repro.experiments.revocation_storm",
                          "Revocation pipeline vs per-host rediscovery"),
+    "overload": ("repro.experiments.overload",
+                 "Overload control and graceful degradation"),
 }
 
 

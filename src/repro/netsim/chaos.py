@@ -89,6 +89,7 @@ class FaultEvent:
     #                | "link-down" | "link-up"
     #                | "service-crash" | "service-restart"
     #                | "ca-outage" | "ca-recovery"
+    #                | "load-surge-start" | "load-surge-end"
     detail: str = ""
 
 
@@ -407,3 +408,110 @@ class FaultyCa:
 
     def issuance_count(self, subject_ia=None):
         return self._ca.issuance_count(subject_ia)
+
+
+# -- load surges -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One generated request arrival: when, and how important."""
+
+    time_s: float
+    #: 0 = critical (never CoDel-shed: renewals, revocation pushes);
+    #: 1 = sheddable bulk traffic (ordinary lookups).
+    priority: int = 1
+
+
+class LoadSurge:
+    """A seeded open-loop Poisson lookup storm with a surge window.
+
+    *Open-loop*: arrivals keep coming at the offered rate no matter how
+    the server responds — the demand process of a large client population,
+    which is exactly what makes overload dangerous (a closed loop would
+    self-throttle).  The arrival process is an inhomogeneous Poisson
+    process generated by thinning against the peak rate, so the stream is
+    exact and fully determined by the seed.
+
+    ``baseline_rps`` is the steady offered load; during
+    ``[surge_start_s, surge_end_s)`` it is multiplied by
+    ``surge_multiplier`` (the ISSUE's 2x-10x of estimated capacity).  A
+    ``high_priority_fraction`` of arrivals are tagged priority 0 —
+    critical control-plane work riding the same queue.  The surge window
+    is recorded as ``load-surge-start``/``load-surge-end`` fault events
+    when an injector is attached, so a surge can coincide with an outage
+    in one digest-covered stream.
+    """
+
+    def __init__(
+        self,
+        baseline_rps: float,
+        surge_multiplier: float = 4.0,
+        surge_start_s: float = 0.0,
+        surge_end_s: float = 0.0,
+        high_priority_fraction: float = 0.0,
+        seed: int = 0x10AD,
+        injector: Optional[FaultInjector] = None,
+        name: str = "lookup-storm",
+    ):
+        if baseline_rps <= 0:
+            raise ChaosError("baseline_rps must be positive")
+        if surge_multiplier < 1.0:
+            raise ChaosError("surge_multiplier must be >= 1")
+        if surge_end_s < surge_start_s:
+            raise ChaosError("surge_end_s must be >= surge_start_s")
+        if not (0.0 <= high_priority_fraction <= 1.0):
+            raise ChaosError("high_priority_fraction must be in [0, 1]")
+        self.baseline_rps = baseline_rps
+        self.surge_multiplier = surge_multiplier
+        self.surge_start_s = surge_start_s
+        self.surge_end_s = surge_end_s
+        self.high_priority_fraction = high_priority_fraction
+        self.seed = seed
+        self.injector = injector
+        self.name = name
+
+    def rate_at(self, t: float) -> float:
+        """Offered request rate (requests/s) at time ``t``."""
+        if self.surge_start_s <= t < self.surge_end_s:
+            return self.baseline_rps * self.surge_multiplier
+        return self.baseline_rps
+
+    def arrivals(self, duration_s: float) -> List[Arrival]:
+        """The full arrival stream over ``[0, duration_s)``.
+
+        Thinning: candidate arrivals are drawn from a homogeneous Poisson
+        process at the peak rate, then each is kept with probability
+        ``rate_at(t) / peak`` — an exact sampler for the piecewise-constant
+        rate, deterministic for a given seed.
+        """
+        if duration_s <= 0:
+            raise ChaosError("duration_s must be positive")
+        rng = random.Random(self.seed)
+        peak = self.baseline_rps * self.surge_multiplier
+        out: List[Arrival] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(peak)
+            if t >= duration_s:
+                break
+            if rng.random() >= self.rate_at(t) / peak:
+                continue
+            priority = 1
+            if (
+                self.high_priority_fraction
+                and rng.random() < self.high_priority_fraction
+            ):
+                priority = 0
+            out.append(Arrival(t, priority))
+        if self.injector is not None and self.surge_end_s > self.surge_start_s:
+            self.injector.record(
+                self.surge_start_s, self.name, "load-surge-start",
+                f"x{self.surge_multiplier:g} offered load",
+            )
+            self.injector.record(
+                min(self.surge_end_s, duration_s), self.name,
+                "load-surge-end",
+                f"back to {self.baseline_rps:g} rps",
+            )
+        return out

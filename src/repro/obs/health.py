@@ -38,6 +38,11 @@ class HealthReport:
     unreachable_from_monitor: List[str] = field(default_factory=list)
     suppressed_alerts: int = 0
     events_by_severity: Dict[str, int] = field(default_factory=dict)
+    #: service name -> current queueing delay (s) at its overload guard,
+    #: for guards past their healthy operating point.  Overload is its own
+    #: status tier: the service is up and degrading gracefully, which an
+    #: operator must read differently from DOWN.
+    overloaded_services: Dict[str, float] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -50,9 +55,27 @@ class HealthReport:
             or self.unreachable_from_monitor
         )
 
+    @property
+    def status(self) -> str:
+        """Four-tier rollup: DOWN > DEGRADED > OVERLOADED > OK.
+
+        DOWN — something is unreachable (dead links, monitor-confirmed
+        outages).  DEGRADED — reduced path diversity (interfaces down,
+        quarantined segments, active revocations).  OVERLOADED — all
+        infrastructure is up, but at least one service's admission guard
+        is shedding or queueing past its target.  OK — none of the above.
+        """
+        if self.down_links or self.unreachable_from_monitor:
+            return "DOWN"
+        if not self.healthy:
+            return "DEGRADED"
+        if self.overloaded_services:
+            return "OVERLOADED"
+        return "OK"
+
     def render(self) -> str:
         """The status page as text, deterministically ordered."""
-        status = "OK" if self.healthy else "DEGRADED"
+        status = self.status
         lines = [
             f"=== network health @ t={self.generated_at_s:.3f}s — {status} ===",
             "",
@@ -93,6 +116,13 @@ class HealthReport:
                 "unreachable from monitor: "
                 + ", ".join(self.unreachable_from_monitor)
             )
+        if self.overloaded_services:
+            lines.append(
+                f"overloaded services ({len(self.overloaded_services)}):"
+            )
+            for name in sorted(self.overloaded_services):
+                delay = self.overloaded_services[name]
+                lines.append(f"  {name}: queue delay {delay * 1000:.1f} ms")
         if self.suppressed_alerts:
             lines.append(f"suppressed duplicate alerts: {self.suppressed_alerts}")
         if self.events_by_severity:
@@ -107,6 +137,8 @@ class HealthReport:
         doc = {
             "generated_at_s": self.generated_at_s,
             "healthy": self.healthy,
+            "status": self.status,
+            "overloaded_services": self.overloaded_services,
             "beacon_freshness_s": self.beacon_freshness_s,
             "down_links": self.down_links,
             "down_interfaces": self.down_interfaces,
@@ -129,11 +161,16 @@ def build_health_report(
     supervisor=None,
     monitor=None,
     events=None,
+    guards=None,
 ) -> HealthReport:
     """Assemble a :class:`HealthReport` without mutating any component.
 
     ``supervisor``, ``monitor``, and ``events`` are optional — the report
     covers whatever operational layers the experiment actually stood up.
+    ``guards`` maps service names to their
+    :class:`~repro.core.overload.OverloadGuard`; guards past their healthy
+    operating point at ``now`` surface as OVERLOADED (a tier *below*
+    DEGRADED/DOWN — the service answers, just late or selectively).
     """
     report = HealthReport(generated_at_s=now)
 
@@ -165,6 +202,11 @@ def build_health_report(
             )
     if monitor is not None:
         report.unreachable_from_monitor = list(monitor.currently_down)
+    if guards is not None:
+        for name in sorted(guards):
+            guard = guards[name]
+            if guard.overloaded(now):
+                report.overloaded_services[name] = guard.queue_delay_s(now)
     if events is not None:
         report.suppressed_alerts = events.suppressed_alerts
         severities: Dict[str, int] = {}

@@ -15,10 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from repro.obs import CounterBackedStats, Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.control.segments import Beacon, SegmentType
 from repro.scion.revocation import Revocation, segment_crosses
+
+if TYPE_CHECKING:  # imported lazily: repro.core pulls in scion modules
+    from repro.core.overload import OverloadGuard
 
 
 class PathServerError(Exception):
@@ -62,7 +67,11 @@ class SegmentRegistry:
     later beaconing rounds become visible without an explicit flush.
     """
 
-    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
+    def __init__(
+        self,
+        telemetry: Optional[Telemetry] = None,
+        guard: Optional[OverloadGuard] = None,
+    ) -> None:
         #: leaf AS -> down segments terminating there
         self._down: Dict[IA, Dict[str, Beacon]] = {}
         #: (origin core, terminal core) -> core segments
@@ -78,6 +87,12 @@ class SegmentRegistry:
         # the cumulative counters (Prometheus convention — counters survive
         # the process, not the data structure); Telemetry.reset() zeroes.
         self.stats = RegistryStats(tel.metrics if tel.enabled else None)
+        #: Optional overload guard for registrations.  Consulted only when
+        #: the caller supplies ``now`` (so legacy now-less registrations —
+        #: and their seeded digests — are untouched).  Shed registrations
+        #: are dropped silently: beaconing re-registers every round, so a
+        #: shed registration heals itself at the next propagation.
+        self.guard = guard
         self._version = 0
 
     @property
@@ -87,9 +102,17 @@ class SegmentRegistry:
 
     # -- registration ---------------------------------------------------------
 
-    def register_down(self, segment: Beacon, now: Optional[float] = None) -> None:
+    def register_down(
+        self, segment: Beacon, now: Optional[float] = None, priority: int = 1
+    ) -> None:
         if now is not None and segment.expires_at() <= now:
             self.stats.inc("purged_expired")
+            return
+        if (
+            self.guard is not None
+            and now is not None
+            and not self.guard.offer(now, priority=priority).admitted
+        ):
             return
         leaf = segment.terminal_ia
         bucket = self._down.setdefault(leaf, {})
@@ -98,9 +121,17 @@ class SegmentRegistry:
         self.stats.inc("registrations")
         self._version += 1
 
-    def register_core(self, segment: Beacon, now: Optional[float] = None) -> None:
+    def register_core(
+        self, segment: Beacon, now: Optional[float] = None, priority: int = 1
+    ) -> None:
         if now is not None and segment.expires_at() <= now:
             self.stats.inc("purged_expired")
+            return
+        if (
+            self.guard is not None
+            and now is not None
+            and not self.guard.offer(now, priority=priority).admitted
+        ):
             return
         key = (segment.origin_ia, segment.terminal_ia)
         bucket = self._core.setdefault(key, {})
@@ -340,11 +371,18 @@ class LocalPathServer:
         remote_isd_rtt_s: float = 0.080,
         revocation_verifier: Optional[Callable[[Revocation], bool]] = None,
         telemetry: Optional[Telemetry] = None,
+        guard: Optional[OverloadGuard] = None,
     ):
         self.ia = ia
         self.registry = registry
         self.core_rtt_s = core_rtt_s
         self.remote_isd_rtt_s = remote_isd_rtt_s
+        #: Optional overload guard for lookups.  Admission is consulted only
+        #: when the caller supplies ``now`` (legacy now-less lookups — and
+        #: their seeded digests — bypass it); a refused lookup raises
+        #: :exc:`~repro.core.overload.OverloadRejected` and the admitted
+        #: queueing delay is added to the returned :class:`LookupTiming`.
+        self.guard = guard
         tel = resolve(telemetry)
         self._telemetry = tel
         self._lookup_latency = tel.metrics.histogram(
@@ -472,7 +510,8 @@ class LocalPathServer:
         return (self.registry.version, self._up_version)
 
     def segments_for(
-        self, dst: IA, now: Optional[float] = None
+        self, dst: IA, now: Optional[float] = None,
+        deadline_s: Optional[float] = None, priority: int = 1,
     ) -> Tuple[
         Tuple[Beacon, ...], Tuple[Beacon, ...], Tuple[Beacon, ...], LookupTiming
     ]:
@@ -485,10 +524,25 @@ class LocalPathServer:
         mutations, so later beaconing rounds stay visible.  Passing ``now``
         purges expired segments first (which bumps the state version, so
         stale cached answers cannot be served).
+
+        With an overload guard installed and ``now`` given, the lookup goes
+        through admission first: a refusal raises
+        :exc:`~repro.core.overload.OverloadRejected` (shed / queue full /
+        cannot meet ``deadline_s``), and an admitted lookup's modeled
+        queueing delay is added to the returned timing — a loaded server
+        answers late before it stops answering.
         """
+        admission = None
+        if self.guard is not None and now is not None:
+            admission = self.guard.admit(
+                now, deadline_s=deadline_s, priority=priority
+            )
         tel = self._telemetry
         if not tel.enabled:
-            return self._segments_for(dst, now)
+            result = self._segments_for(dst, now)
+            if admission is not None:
+                result[3].latency_s += admission.queue_delay_s
+            return result
         span = tel.tracer.begin(
             "path_server.segments_for", now=now,
             server=str(self.ia), dst=str(dst),
@@ -499,6 +553,8 @@ class LocalPathServer:
             tel.tracer.end(span, status="error")
             raise
         timing = result[3]
+        if admission is not None:
+            timing.latency_s += admission.queue_delay_s
         span.attrs["cached"] = str(timing.cached)
         span.attrs["round_trips"] = str(timing.round_trips)
         self._lookup_latency.observe(timing.latency_s)

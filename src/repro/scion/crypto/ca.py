@@ -13,8 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from repro.scion.crypto.cppki import Certificate, CertificateError, CertType
 from repro.scion.crypto.rsa import RsaKeyPair, RsaPublicKey
+
+if TYPE_CHECKING:  # imported lazily: repro.core pulls in scion modules
+    from repro.core.overload import OverloadGuard
 
 #: Default AS certificate lifetime: 3 days, per the paper's "typically just
 #: a few days".
@@ -46,6 +51,7 @@ class CaService:
         ca_certificate: Certificate,
         root_certificate: Certificate,
         as_cert_lifetime_s: float = DEFAULT_AS_CERT_LIFETIME_S,
+        guard: Optional[OverloadGuard] = None,
     ):
         if ca_certificate.cert_type is not CertType.CA:
             raise CertificateError("CaService needs a CA certificate")
@@ -56,6 +62,13 @@ class CaService:
         self.ca_certificate = ca_certificate
         self.root_certificate = root_certificate
         self.as_cert_lifetime_s = as_cert_lifetime_s
+        #: Optional overload guard for the issuance/renewal endpoint.
+        #: Renewals are scheduled well ahead of expiry, so they ride
+        #: through admission as critical work (priority 0: a shed renewal
+        #: would eventually take the AS's beacons down with it).  A refusal
+        #: raises :exc:`~repro.core.overload.OverloadRejected`, which the
+        #: supervisor's retry loop treats as transient.
+        self.guard = guard
         self._serial = 0
         self.issued: List[Certificate] = []
         #: subject -> latest certificate, for the status dashboard
@@ -72,6 +85,8 @@ class CaService:
         lifetime = lifetime_s if lifetime_s is not None else self.as_cert_lifetime_s
         if lifetime <= 0:
             raise ValueError("certificate lifetime must be positive")
+        if self.guard is not None:
+            self.guard.admit(now, priority=0)
         self._serial += 1
         cert = Certificate(
             subject=subject_ia,

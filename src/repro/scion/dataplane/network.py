@@ -32,6 +32,7 @@ from repro.scion.scmp import (
     ScmpMessage,
     interface_down,
     path_expired,
+    queue_full,
     unknown_path_interface,
 )
 from repro.scion.topology import GlobalTopology
@@ -79,8 +80,9 @@ class ProbeResult:
     failed_ifid: Optional[int] = None
     #: The SCMP error a real router would route back to the source, when
     #: the failure maps to one (interface-down, unknown interface, path
-    #: expired). Loss and congestion produce no SCMP — by design they stay
-    #: indistinguishable from slow delivery.
+    #: expired). Loss produces no SCMP, and analytic walks never hit a
+    #: queue; event-driven queue overflows emit a QUEUE_FULL congestion
+    #: signal only when the dataplane's ``queue_full_scmp`` flag is set.
     scmp: Optional[ScmpMessage] = None
     #: Revocation minted from ``scmp`` when it is interface-scoped, signed
     #: by the failing AS if its signing key is known to the dataplane.
@@ -105,6 +107,7 @@ class ScionDataplane:
         signing_keys: Optional[Dict[IA, RsaKeyPair]] = None,
         revocation_ttl_s: float = DEFAULT_REVOCATION_TTL_S,
         telemetry: Optional[Telemetry] = None,
+        queue_full_scmp: bool = False,
     ):
         self.topology = topology
         tel = resolve(telemetry)
@@ -119,6 +122,13 @@ class ScionDataplane:
         #: other ASes can verify them.
         self.signing_keys: Dict[IA, RsaKeyPair] = dict(signing_keys or {})
         self.revocation_ttl_s = revocation_ttl_s
+        #: When True, a bounded egress queue overflow routes an SCMP
+        #: DESTINATION_UNREACHABLE/CODE_QUEUE_FULL back to the source so
+        #: senders can back off.  Off by default: legacy experiments model
+        #: routers that shed congestion silently, and the congestion SCMP
+        #: must never be confused with interface-down (daemons ignore it
+        #: for down-marking — see ``Daemon.handle_scmp``).
+        self.queue_full_scmp = queue_full_scmp
 
     def revocation_for(
         self, scmp: ScmpMessage, now: float
@@ -340,8 +350,10 @@ class ScionDataplane:
         ``on_dropped`` receives the drop reason plus the :class:`DropLocation`
         (AS and egress ifid when attributable).  ``on_scmp`` receives the
         SCMP error the dropping router routes back to the source, for drops
-        that produce one — queue overflows and chaos loss do not, so the
-        source cannot mistake congestion for a dead link.
+        that produce one — chaos loss never does, and queue overflows only
+        produce the (non-interface-scoped) QUEUE_FULL congestion signal
+        when ``queue_full_scmp`` is set, so the source cannot mistake
+        congestion for a dead link.
         """
         trace_span = None
         tracer = self._telemetry.tracer
@@ -419,10 +431,15 @@ class ScionDataplane:
             return
         if not router.try_enqueue(egress):
             # Bounded egress queue overflow: congestion, not failure.
-            # Deliberately no SCMP — a loaded router sheds load silently.
+            # With ``queue_full_scmp`` the router routes a QUEUE_FULL
+            # error back so the sender can back off; by default it sheds
+            # silently (the legacy behaviour).  Either way no revocation
+            # is minted — the link is healthy, just busy.
             self._drop(
                 packet, Verdict.DROP_QUEUE_FULL.value, location,
                 on_dropped, on_scmp,
+                scmp=(queue_full(str(record.hop.ia), egress)
+                      if self.queue_full_scmp else None),
                 trace_span=trace_span, now=sim.now,
             )
             return

@@ -384,8 +384,17 @@ class ScionNetwork:
         dst: IA,
         max_paths: Optional[int] = None,
         refresh: bool = False,
+        now: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ) -> List[PathMeta]:
-        """All control-plane paths from ``src`` to ``dst`` with metadata."""
+        """All control-plane paths from ``src`` to ``dst`` with metadata.
+
+        ``now``/``deadline_s`` propagate the caller's deadline into the
+        path server's overload admission (when its guard is installed);
+        deadline-carrying lookups bypass the combination memo — admission
+        must see every request, and an overloaded server may refuse this
+        one (:exc:`~repro.core.overload.OverloadRejected` propagates).
+        """
         # Any registry mutation (registration, revocation, quarantine
         # expiry) invalidates memoized combinations wholesale — a cached
         # path over a quarantined segment must never be handed out.
@@ -393,12 +402,14 @@ class ScionNetwork:
             self._path_cache.clear()
             self._path_cache_version = self.registry.version
         key = (src, dst)
-        if not refresh and key in self._path_cache:
+        if not refresh and deadline_s is None and key in self._path_cache:
             metas = self._path_cache[key]
         else:
             src_topo = self.topology.get(src)
             dst_topo = self.topology.get(dst)
-            ups, cores, downs, _ = self.services[src].path_server.segments_for(dst)
+            ups, cores, downs, _ = self.services[src].path_server.segments_for(
+                dst, now=now, deadline_s=deadline_s
+            )
             tel = self.telemetry
             if tel.enabled:
                 with tel.tracer.span(

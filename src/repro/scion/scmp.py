@@ -27,6 +27,11 @@ class ScmpType(enum.Enum):
 CODE_PATH_EXPIRED = 1
 CODE_UNKNOWN_PATH_INTERFACE = 2
 
+#: DESTINATION_UNREACHABLE code for a bounded egress queue overflowing.
+#: Congestion, not failure: receivers back off, they do not mark the
+#: interface down.
+CODE_QUEUE_FULL = 7
+
 
 _HEADER = struct.Struct("!BBHHQ")  # type, code, identifier, sequence, info
 
@@ -117,6 +122,19 @@ def path_expired(origin_ia: str) -> ScmpMessage:
     """The error a router emits when a hop field is past its expiry."""
     return ScmpMessage(
         ScmpType.PARAMETER_PROBLEM, code=CODE_PATH_EXPIRED, origin_ia=origin_ia
+    )
+
+
+def queue_full(origin_ia: str, ifid: int) -> ScmpMessage:
+    """The congestion signal for a bounded egress queue overflow.
+
+    ``info`` carries the congested egress interface so senders can back
+    off (or pick another path) — but unlike :func:`interface_down` this
+    must *not* mark the interface dead: the link is healthy, just busy.
+    """
+    return ScmpMessage(
+        ScmpType.DESTINATION_UNREACHABLE, code=CODE_QUEUE_FULL,
+        info=ifid, origin_ia=origin_ia,
     )
 
 

@@ -83,6 +83,20 @@ class TestRetrySchedule:
         assert len(waits) == 2
         assert schedule.backoff_total_s <= policy.deadline_s
 
+    def test_backoff_on_exact_deadline_boundary_is_refused(self):
+        # Regression: base == max pins the jitter, so every draw is
+        # exactly 0.04 s; after two waits (0.08 s) the third lands the
+        # total exactly on the 0.12 s deadline.  The old ``>`` comparison
+        # scheduled that attempt with zero remaining budget — it must be
+        # refused instead.
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.04,
+                             max_delay_s=0.04, deadline_s=0.12)
+        schedule = policy.schedule()
+        assert schedule.next_backoff_s() == pytest.approx(0.04)
+        assert schedule.next_backoff_s() == pytest.approx(0.04)
+        assert schedule.next_backoff_s() is None
+        assert schedule.backoff_total_s < policy.deadline_s
+
     def test_charged_costs_consume_deadline(self):
         policy = RetryPolicy(max_attempts=100, base_delay_s=0.05,
                              max_delay_s=0.05, deadline_s=0.12)

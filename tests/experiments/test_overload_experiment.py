@@ -1,0 +1,112 @@
+"""The overload experiment: acceptance gates and seeded reproducibility."""
+
+import pytest
+
+from repro.experiments.overload import (
+    DEADLINE_S,
+    SWEEP_MULTIPLES,
+    run,
+    run_storms,
+    telemetry_snapshot,
+)
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="module")
+def storms():
+    return run_storms(fast=True)
+
+
+class TestAcceptance:
+    def test_protected_goodput_at_4x_offered_load(self, storms):
+        index = SWEEP_MULTIPLES.index(4.0)
+        naive = storms["sweep"]["naive"][index]["goodput_rps"]
+        protected = storms["sweep"]["protected"][index]["goodput_rps"]
+        assert protected >= 2 * max(naive, 1.0)
+
+    def test_protected_recovers_to_baseline_after_surge(self, storms):
+        protected = storms["protected"]
+        assert protected.recovered_at_s is not None
+        assert protected.recovered_at_s <= 2.0
+        assert protected.post_surge_fraction >= 0.9
+
+    def test_naive_stack_is_metastable(self, storms):
+        naive = storms["naive"]
+        # Goodput stays depressed after the surge ends, sustained by the
+        # unbudgeted retries — the metastable signature.
+        assert naive.recovered_at_s is None
+        assert naive.post_surge_fraction <= 0.5
+        assert naive.retries_sent > naive.offered  # retry amplification
+
+    def test_admitted_p99_within_deadline_for_protected(self, storms):
+        assert storms["protected"].p99_admitted_latency_s <= DEADLINE_S
+        # The naive stack serves uselessly late instead of refusing.
+        assert storms["naive"].p99_admitted_latency_s > DEADLINE_S
+
+    def test_critical_priority_never_shed(self, storms):
+        assert storms["protected"].shed_by_priority.get(0, 0) == 0
+        assert storms["protected"].shed_by_priority.get(1, 0) > 0
+
+    def test_partition_invariant_holds_under_storm(self, storms):
+        for outcome in (storms["naive"], storms["protected"]):
+            stats = outcome.stats
+            assert (
+                stats["admitted"] + stats["shed"]
+                + stats["rejected_queue_full"] + stats["rejected_deadline"]
+                == stats["offered"]
+            )
+
+    def test_health_reports_overloaded_mid_surge(self, storms):
+        assert storms["protected"].health_status == "OVERLOADED"
+        assert storms["protected"].overloaded_services
+        assert storms["naive"].health_status == "OVERLOADED"
+
+    def test_protected_stack_serves_stale_instead_of_retrying(self, storms):
+        protected = storms["protected"]
+        assert protected.stale_served > 0
+        assert protected.retries_sent < protected.offered * 0.01
+        assert protected.breaker_transitions > 0
+
+
+class TestReproducibility:
+    def test_same_seed_same_digest(self, storms):
+        again = run_storms(fast=True)
+        assert again["digest"] == storms["digest"]
+        assert again["protected"].bins == storms["protected"].bins
+        assert again["naive"].bins == storms["naive"].bins
+
+    def test_different_seed_different_digest(self, storms):
+        other = run_storms(fast=True, seed=18)
+        assert other["digest"] != storms["digest"]
+
+
+class TestReport:
+    def test_run_produces_report_with_digest(self):
+        result = run(fast=True)
+        assert result.exp_id == "overload"
+        assert len(result.comparisons) == 4
+        assert "digest" in result.details
+        assert "OVERLOADED" in result.details
+
+    def test_registered_in_registry(self):
+        result = run_experiment("overload", fast=True)
+        assert result.exp_id == "overload"
+
+
+class TestTelemetrySnapshot:
+    def test_all_overload_decisions_visible_in_metrics(self):
+        snap = telemetry_snapshot()
+        prom = snap["prometheus"]
+        for family in (
+            "overload_admitted_total",
+            "overload_shed_total",
+            "overload_rejected_deadline_total",
+            "overload_queue_depth",
+            "overload_queue_delay_seconds",
+            "overload_breaker_transitions_total",
+            "overload_retries_spent_total",
+            "overload_retry_budget_exhausted_total",
+        ):
+            assert family in prom, family
+        assert snap["health_status"] == "OVERLOADED"
+        assert snap["overloaded_services"]

@@ -5,10 +5,12 @@ import dataclasses
 import pytest
 
 from repro.netsim.chaos import (
+    Arrival,
     ChaosError,
     FaultEvent,
     FaultInjector,
     FaultProfile,
+    LoadSurge,
     ServerOutage,
 )
 from repro.netsim.failures import FailureSchedule, LinkEvent
@@ -341,3 +343,71 @@ class TestCrashServiceFault:
         second = FaultInjector(seed=1)
         first.crash_service(self.FakeSupervisor(), "control", 1.0)
         assert first.event_digest() != second.event_digest()
+
+
+class TestLoadSurge:
+    def test_same_seed_same_arrival_stream(self):
+        kwargs = dict(surge_multiplier=4.0, surge_start_s=2.0,
+                      surge_end_s=4.0, high_priority_fraction=0.1, seed=42)
+        first = LoadSurge(100.0, **kwargs).arrivals(6.0)
+        second = LoadSurge(100.0, **kwargs).arrivals(6.0)
+        assert first == second
+        assert LoadSurge(100.0, **dict(kwargs, seed=43)).arrivals(6.0) != first
+
+    def test_rate_window(self):
+        surge = LoadSurge(100.0, surge_multiplier=4.0, surge_start_s=2.0,
+                          surge_end_s=4.0)
+        assert surge.rate_at(0.0) == 100.0
+        assert surge.rate_at(2.0) == 400.0
+        assert surge.rate_at(3.999) == 400.0
+        assert surge.rate_at(4.0) == 100.0
+
+    def test_arrival_counts_track_the_offered_rate(self):
+        surge = LoadSurge(200.0, surge_multiplier=5.0, surge_start_s=5.0,
+                          surge_end_s=10.0, seed=7)
+        arrivals = surge.arrivals(15.0)
+        inside = sum(1 for a in arrivals if 5.0 <= a.time_s < 10.0)
+        outside = len(arrivals) - inside
+        # ~1000/s for 5 s inside the window, ~200/s for 10 s outside.
+        assert 4500 <= inside <= 5500
+        assert 1700 <= outside <= 2300
+        assert all(0.0 <= a.time_s < 15.0 for a in arrivals)
+        assert arrivals == sorted(arrivals, key=lambda a: a.time_s)
+
+    def test_high_priority_fraction_tags_critical_arrivals(self):
+        surge = LoadSurge(500.0, high_priority_fraction=0.2, seed=9)
+        arrivals = surge.arrivals(10.0)
+        critical = sum(1 for a in arrivals if a.priority == 0)
+        assert 0.15 <= critical / len(arrivals) <= 0.25
+        assert LoadSurge(500.0, seed=9).arrivals(10.0)[0].priority == 1
+
+    def test_surge_window_recorded_as_fault_events(self):
+        injector = FaultInjector(seed=1)
+        surge = LoadSurge(100.0, surge_multiplier=2.0, surge_start_s=1.0,
+                          surge_end_s=9.0, injector=injector, name="storm")
+        surge.arrivals(5.0)
+        kinds = [(e.kind, e.time_s) for e in injector.events]
+        # The end event is clamped to the stream's duration.
+        assert kinds == [("load-surge-start", 1.0), ("load-surge-end", 5.0)]
+
+    def test_no_events_without_surge_window(self):
+        injector = FaultInjector(seed=1)
+        LoadSurge(100.0, injector=injector).arrivals(2.0)
+        assert injector.events == []
+
+    def test_validation(self):
+        with pytest.raises(ChaosError):
+            LoadSurge(0.0)
+        with pytest.raises(ChaosError):
+            LoadSurge(100.0, surge_multiplier=0.5)
+        with pytest.raises(ChaosError):
+            LoadSurge(100.0, surge_start_s=2.0, surge_end_s=1.0)
+        with pytest.raises(ChaosError):
+            LoadSurge(100.0, high_priority_fraction=1.5)
+        with pytest.raises(ChaosError):
+            LoadSurge(100.0).arrivals(0.0)
+
+    def test_arrival_dataclass_is_frozen(self):
+        arrival = Arrival(1.0, priority=0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            arrival.time_s = 2.0

@@ -149,3 +149,49 @@ class TestHealthReport:
         )
         doc = json.loads(report.to_json())
         assert doc["quarantined_segments"] == 0
+        assert doc["status"] == "OK"
+
+    def test_overloaded_is_its_own_status_tier(self):
+        from repro.core.overload import OverloadGuard
+
+        network, _ = self._network()
+        now = float(network.timestamp)
+        guard = OverloadGuard(0.01, name="ps-a", codel_target_s=0.005)
+        for _ in range(5):
+            guard.offer(now)  # 50 ms backlog: well past the 5 ms target
+        report = build_health_report(network, now=now, guards={"ps-a": guard})
+        # Everything is up — the service is saturated, not broken.
+        assert report.healthy
+        assert report.status == "OVERLOADED"
+        assert report.overloaded_services["ps-a"] > 0.005
+        text = report.render()
+        assert "OVERLOADED" in text
+        assert "ps-a: queue delay" in text
+
+    def test_down_outranks_overloaded(self):
+        from repro.core.overload import OverloadGuard
+
+        network, _ = self._network()
+        now = float(network.timestamp)
+        guard = OverloadGuard(0.01, name="ps-a", codel_target_s=0.005)
+        for _ in range(5):
+            guard.offer(now)
+        network.set_link_state("a-c2", False)
+        try:
+            report = build_health_report(
+                network, now=now, guards={"ps-a": guard}
+            )
+            assert report.status == "DOWN"
+            assert report.overloaded_services  # still listed, outranked
+        finally:
+            network.set_link_state("a-c2", True)
+
+    def test_idle_guard_does_not_surface(self):
+        from repro.core.overload import OverloadGuard
+
+        network, _ = self._network()
+        now = float(network.timestamp)
+        guard = OverloadGuard(0.01, name="ps-a", codel_target_s=0.005)
+        report = build_health_report(network, now=now, guards={"ps-a": guard})
+        assert report.status == "OK"
+        assert report.overloaded_services == {}
