@@ -11,12 +11,14 @@ Committed snapshots are the *trajectory*: each scaling PR re-runs the
 benchmarks and diffs against the committed previous snapshot, so every
 optimization (and every regression) has a measured before/after.  The CI
 ``bench-smoke`` job runs this comparison for the kernel snapshot (see
-:func:`compare` and the CLI at the bottom).  Because wall-clock numbers
-are only comparable within the same machine class, the comparison is
-**report-only** (``--warn-only``) until the committed snapshot has been
-regenerated on the CI runner class itself; a >10% ``ops_per_sec`` drop is
-printed as a REGRESSION line either way, and the hard gate (exit 1) is
-enabled by dropping the flag once a same-class baseline is committed.
+:func:`compare` and the CLI at the bottom) as a **hard gate**: the
+committed snapshot is the per-metric median of three runs on the CI
+runner class, and a >10% ``ops_per_sec`` drop fails the job (the job
+re-measures up to three times so a transient load spike on a shared
+runner cannot masquerade as a regression).  ``--warn-only`` remains for
+cross-machine comparisons (e.g. a developer box against the committed
+runner-class snapshot), where wall-clock deltas are dominated by
+hardware, not code.
 
 Snapshot schema (``schema`` bumps on incompatible change)::
 

@@ -63,6 +63,8 @@ EXPERIMENTS: Dict[str, Tuple[str, str]] = {
                          "Revocation pipeline vs per-host rediscovery"),
     "overload": ("repro.experiments.overload",
                  "Overload control and graceful degradation"),
+    "crucible": ("repro.experiments.crucible",
+                 "Deterministic simulation testing (fuzzed fault schedules)"),
 }
 
 

@@ -90,6 +90,7 @@ class FaultEvent:
     #                | "service-crash" | "service-restart"
     #                | "ca-outage" | "ca-recovery"
     #                | "load-surge-start" | "load-surge-end"
+    #                | "partition-start" | "partition-heal"
     detail: str = ""
 
 
@@ -282,6 +283,31 @@ class FaultInjector:
         self.record(now, name, "service-crash", detail)
         supervisor.crash(name, now)
 
+    # -- partition faults --------------------------------------------------------
+
+    def partition(self, topology: Any, ases: Iterable[Any], now: float,
+                  mode: str = "symmetric") -> "NetworkPartition":
+        """Cut a subset of ASes out of the topology (``partition-start``).
+
+        Unlike a link-down (which routers detect and answer with SCMP, so
+        end hosts learn about it), a partition is a *silent* blackhole:
+        frames and probes crossing the cut vanish at the sender's egress
+        with no error signal — the real-world shape of a filtered VLAN or
+        a one-way fibre fault.  ``mode`` selects which directions die:
+
+        - ``"symmetric"``: both directions of every cut link;
+        - ``"outbound"``: only frames *leaving* the subset blackhole
+          (the subset can still hear the outside);
+        - ``"inbound"``: only frames *entering* the subset blackhole.
+
+        The asymmetric modes are what surface one-way reachability bugs:
+        an echo probe must fail if *either* direction is cut, because the
+        reply reverses the same path.  Returns a :class:`NetworkPartition`
+        whose :meth:`~NetworkPartition.heal` restores connectivity and
+        records ``partition-heal`` in the same event stream.
+        """
+        return NetworkPartition(topology, ases, self, now, mode)
+
 
 class FaultyServer:
     """Proxy for a :class:`BootstrapServer`-shaped object under chaos.
@@ -408,6 +434,77 @@ class FaultyCa:
 
     def issuance_count(self, subject_ia=None):
         return self._ca.issuance_count(subject_ia)
+
+
+# -- network partitions ----------------------------------------------------------
+
+
+class NetworkPartition:
+    """An active cut isolating a set of ASes (see :meth:`FaultInjector.partition`).
+
+    The cut set is every inter-AS link with exactly one endpoint inside the
+    subset; intra-subset and fully-outside links are untouched.  Blocking
+    is per *direction* via :meth:`Link.block_sender`, so ``link.up`` stays
+    true — routers do not see the cut, no SCMP circulates, and healing
+    restores connectivity instantly without reconvergence machinery.  The
+    topology's ``partitioned_links`` set is kept in sync so the dataplane
+    can skip its partition checks entirely while no cut is active.
+    """
+
+    def __init__(self, topology: Any, ases: Iterable[Any], injector: FaultInjector,
+                 now: float, mode: str = "symmetric"):
+        if mode not in ("symmetric", "inbound", "outbound"):
+            raise ChaosError(
+                f"mode must be symmetric/inbound/outbound, got {mode!r}"
+            )
+        subset = {str(ia) for ia in ases}
+        if not subset:
+            raise ChaosError("partition requires at least one AS")
+        self.topology = topology
+        self.injector = injector
+        self.mode = mode
+        self.ases = frozenset(subset)
+        self.healed = False
+        #: (link, blocked sender endpoint) pairs this partition applied.
+        self._blocks: List[Tuple[Link, Any]] = []
+        for name, ((ia_a, _), (ia_b, _)) in topology.link_attachments.items():
+            a_in, b_in = str(ia_a) in subset, str(ia_b) in subset
+            if a_in == b_in:
+                continue  # both sides inside, or both outside: not cut
+            link = topology.links[name]
+            inside, outside = (link.a, link.b) if a_in else (link.b, link.a)
+            if mode in ("symmetric", "outbound"):
+                self._block(link, inside)
+            if mode in ("symmetric", "inbound"):
+                self._block(link, outside)
+            topology.partitioned_links.add(name)
+        self.name = ",".join(sorted(subset))
+        injector.record(
+            now, self.name, "partition-start",
+            f"{mode}, {len({l.name for l, _ in self._blocks})} links cut",
+        )
+
+    def _block(self, link: Link, sender: Any) -> None:
+        # Overlapping partitions may block the same direction twice; the
+        # link refcounts, so each partition heals exactly what it applied
+        # and the direction reopens only when the last holder heals.
+        link.block_sender(sender)
+        self._blocks.append((link, sender))
+
+    @property
+    def cut_links(self) -> List[str]:
+        return sorted({link.name for link, _ in self._blocks})
+
+    def heal(self, now: float) -> None:
+        """Restore every direction this partition cut (idempotent)."""
+        if self.healed:
+            return
+        self.healed = True
+        for link, sender in self._blocks:
+            link.unblock_sender(sender)
+            if not link.blocked_senders:
+                self.topology.partitioned_links.discard(link.name)
+        self.injector.record(now, self.name, "partition-heal", self.mode)
 
 
 # -- load surges -----------------------------------------------------------------

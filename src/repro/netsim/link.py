@@ -23,6 +23,8 @@ class LinkStats:
     frames_sent: int = 0
     frames_dropped_down: int = 0
     frames_dropped_loss: int = 0
+    #: Frames silently blackholed because their direction is partitioned.
+    frames_dropped_partition: int = 0
     bytes_sent: int = 0
 
 
@@ -66,6 +68,18 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.loss = loss
         self.up = True
+        #: Endpoints whose *sending* direction is currently cut by a
+        #: network partition.  Unlike ``up`` (which both directions share
+        #: and which routers detect and report via SCMP), a partitioned
+        #: direction is a silent blackhole: frames vanish at the sender's
+        #: egress with no error signal, and the reverse direction may
+        #: still work (asymmetric cuts).  Managed by the chaos layer's
+        #: :class:`~repro.netsim.chaos.NetworkPartition`; empty in normal
+        #: operation so the hot-path check is one falsy test.
+        self.blocked_senders: set = set()
+        #: endpoint -> number of overlapping partitions cutting it; the
+        #: set above stays the hot-path view (membership only at zero).
+        self._block_refs: dict = {}
         self.stats = LinkStats()
         self._rng = rng or random.Random(0xC1E2A)
         # Time at which each direction's transmitter becomes free.
@@ -83,6 +97,31 @@ class Link:
 
     def set_up(self, up: bool) -> None:
         self.up = up
+
+    def block_sender(self, endpoint: Any) -> None:
+        """Cut one direction: frames sent *by* ``endpoint`` blackhole.
+
+        Refcounted: overlapping partitions may cut the same direction,
+        and healing one must not reopen it while another still holds it.
+        """
+        if endpoint not in self._tx_free_at:
+            raise ValueError(
+                f"{endpoint!r} is not an endpoint of link {self.name}"
+            )
+        self._block_refs[endpoint] = self._block_refs.get(endpoint, 0) + 1
+        self.blocked_senders.add(endpoint)
+
+    def unblock_sender(self, endpoint: Any) -> None:
+        """Heal one direction (no-op if it was not blocked)."""
+        refs = self._block_refs.get(endpoint, 0)
+        if refs > 1:
+            self._block_refs[endpoint] = refs - 1
+            return
+        self._block_refs.pop(endpoint, None)
+        self.blocked_senders.discard(endpoint)
+
+    def sender_blocked(self, endpoint: Any) -> bool:
+        return endpoint in self.blocked_senders
 
     def one_way_delay(self, size_bytes: int = 0) -> float:
         ser = 0.0
@@ -110,6 +149,11 @@ class Link:
             self.stats.frames_dropped_down += 1
             if drop:
                 drop("link-down")
+            return
+        if self.blocked_senders and sender in self.blocked_senders:
+            self.stats.frames_dropped_partition += 1
+            if drop:
+                drop("partition")
             return
         if self.loss and self._rng.random() < self.loss:
             self.stats.frames_dropped_loss += 1

@@ -42,9 +42,18 @@ class EventLog:
 
     def __init__(self) -> None:
         self.events: List[Event] = []
-        #: (src, dst) pairs currently known down — used to deduplicate
-        #: repeated ``connectivity-lost`` alerts for the same pair.
+        #: Unordered pairs currently known down, keyed canonically
+        #: (sorted endpoints) — used to deduplicate repeated
+        #: ``connectivity-lost`` alerts.  The key is unordered because a
+        #: pair is *one* outage no matter which side's monitor noticed:
+        #: under an asymmetric partition, probes fail in both directions
+        #: (the echo reply crosses the cut), so vantage points on both
+        #: sides alert on the same incident and a directed key would
+        #: double-count it.
         self._down_pairs: Dict[Tuple[str, str], int] = {}
+        #: canonical key -> the first directed (src, dst) seen, so
+        #: :meth:`down_pairs` reports the direction the alert arrived in.
+        self._down_display: Dict[Tuple[str, str], Tuple[str, str]] = {}
         self.suppressed_alerts = 0
 
     # -- recording ---------------------------------------------------------------
@@ -64,16 +73,19 @@ class EventLog:
 
         Returns the recorded event, or None when the alert was suppressed.
         """
-        pair = (alert.src, alert.dst)
+        key = ((alert.src, alert.dst) if alert.src <= alert.dst
+               else (alert.dst, alert.src))
         if alert.kind == "connectivity-lost":
-            if pair in self._down_pairs:
-                self._down_pairs[pair] += 1
+            if key in self._down_pairs:
+                self._down_pairs[key] += 1
                 self.suppressed_alerts += 1
                 return None
-            self._down_pairs[pair] = 1
+            self._down_pairs[key] = 1
+            self._down_display[key] = (alert.src, alert.dst)
             severity = "critical"
         elif alert.kind in _RESTORE_KINDS:
-            self._down_pairs.pop(pair, None)
+            self._down_pairs.pop(key, None)
+            self._down_display.pop(key, None)
             severity = "info"
         else:
             severity = "warning"
@@ -88,10 +100,10 @@ class EventLog:
         """Mirror a chaos-layer :class:`FaultEvent` into the timeline."""
         severity = "warning"
         if fault.kind in ("link-down", "server-outage", "ca-outage",
-                          "service-crash"):
+                          "service-crash", "partition-start"):
             severity = "critical"
         elif fault.kind in ("link-up", "server-recovery", "ca-recovery",
-                            "service-restart"):
+                            "service-restart", "partition-heal"):
             severity = "info"
         return self.record(
             fault.time_s, "chaos", fault.kind, target=fault.target,
@@ -132,7 +144,9 @@ class EventLog:
         return sorted(out, key=lambda e: (e.time_s, e.seq))
 
     def down_pairs(self) -> List[str]:
-        return sorted(f"{src}->{dst}" for src, dst in self._down_pairs)
+        return sorted(
+            f"{src}->{dst}" for src, dst in self._down_display.values()
+        )
 
     def digest(self) -> str:
         """Stable digest of the full timeline (determinism checks)."""
@@ -145,6 +159,7 @@ class EventLog:
     def clear(self) -> None:
         self.events = []
         self._down_pairs = {}
+        self._down_display = {}
         self.suppressed_alerts = 0
 
 

@@ -124,7 +124,23 @@ class Beacon:
         return [entry.ia for entry in self.entries]
 
     def interface_fingerprint(self) -> str:
-        """Identity of the segment by the interfaces it traverses."""
+        """Identity of the segment by the interfaces it traverses.
+
+        Computed lazily and cached on the instance: beacon stores key and
+        sort on the fingerprint, propagation dedups on it, and path-server
+        registries bucket by it, so each beacon used to pay the O(hops)
+        sha256 on every store/select/propagate.  The cache can never go
+        stale — the dataclass is frozen and ``with_entry`` extends by
+        returning a *new* beacon (with a cold cache of its own).
+        """
+        cached = self.__dict__.get("_fp")
+        if cached is None:
+            cached = self._build_interface_fingerprint()
+            self.__dict__["_fp"] = cached
+        return cached
+
+    def _build_interface_fingerprint(self) -> str:
+        """Uncached fingerprint computation (the memoization baseline)."""
         parts = [
             f"{e.ia}#{e.hop.cons_ingress}>{e.hop.cons_egress}" for e in self.entries
         ]

@@ -218,6 +218,14 @@ class ScionDataplane:
                     failed_ifid=decision.egress_ifid,
                     scmp=scmp, revocation=self.revocation_for(scmp, now),
                 )
+            blocked = link.blocked_senders
+            if blocked and str(record_ia) in blocked:
+                # Partition: a silent blackhole — no SCMP, no revocation
+                # (routers cannot see the cut; see NetworkPartition).
+                return ProbeResult(
+                    False, failure="partition", failed_at=record_ia,
+                    failed_ifid=decision.egress_ifid,
+                )
             iface = topology.get(record_ia).interfaces[decision.egress_ifid]
             if next_record is None or next_record.hop.ia != iface.remote_ia:
                 return ProbeResult(
@@ -297,10 +305,46 @@ class ScionDataplane:
         """Round-trip probe (SCMP echo semantics): forward walk doubled.
 
         SCION replies reverse the same path, so a successful forward walk
-        implies a successful reverse walk under the same link state.
+        implies a successful reverse walk under the same link state —
+        *except* under asymmetric partitions, where a direction can be cut
+        without the shared ``up`` flag changing.  The reply-direction
+        check below only runs while a partition is active (the topology's
+        ``partitioned_links`` set is non-empty), so the measurement hot
+        path pays a single truthiness test.
         """
         result = self.walk(path, now)
+        if result.success and self.topology.partitioned_links:
+            reply = self._reply_partitioned(path)
+            if reply is not None:
+                return ProbeResult(
+                    False, failure="partition-reply", failed_at=reply,
+                )
         return result
+
+    def _reply_partitioned(self, path: DataplanePath) -> Optional[IA]:
+        """The AS whose *reply* direction is cut, or None if none is.
+
+        The echo reply reverses the path, so for each link the forward
+        walk crossed, the reply's sender is the far endpoint; if that
+        direction is blocked the echo never comes back even though the
+        forward walk succeeded.  Mirrors the link selection of
+        :meth:`path_latency_s`.
+        """
+        records = path.forwarding_plan()
+        for index, record in enumerate(records):
+            if index + 1 >= len(records):
+                break
+            next_record = records[index + 1]
+            if next_record.hop.ia == record.hop.ia:
+                continue
+            _, egress = record.oriented()
+            link = self.topology.link_between(record.hop.ia, egress)
+            if link is None or not link.blocked_senders:
+                continue
+            reply_sender = link.other(str(record.hop.ia))
+            if reply_sender in link.blocked_senders:
+                return next_record.hop.ia
+        return None
 
     def path_latency_s(self, path: DataplanePath) -> float:
         """Static one-way latency estimate (links + processing), ignoring

@@ -14,6 +14,7 @@ property — so each link here corresponds to one :class:`repro.netsim.link.Link
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -119,6 +120,10 @@ class GlobalTopology:
         self.links: Dict[str, Link] = {}
         #: link name -> ((ia_a, ifid_a), (ia_b, ifid_b))
         self.link_attachments: Dict[str, Tuple[Tuple[IA, int], Tuple[IA, int]]] = {}
+        #: Names of links with at least one partitioned direction.
+        #: Maintained by the chaos layer; the dataplane uses emptiness as
+        #: a fast-path guard so probes pay nothing while no cut is active.
+        self.partitioned_links: set = set()
 
     def add_as(
         self,
@@ -215,3 +220,61 @@ class GlobalTopology:
             if topo.is_core:
                 if topo.neighbors(LinkType.PARENT):
                     raise TopologyError(f"core AS {ia} must not have parent links")
+
+
+def random_topology(
+    n_ases: int,
+    seed: int = 0,
+    isd: int = 71,
+    n_core: Optional[int] = None,
+    max_parents: int = 2,
+    peer_fraction: float = 0.1,
+) -> GlobalTopology:
+    """A seeded random SCION topology with ``n_ases`` ASes in one ISD.
+
+    The shape mirrors SCIERA's growth pattern (and the ROADMAP's scale-out
+    target): a small fully-meshed core, and non-core ASes attached one at a
+    time with 1..``max_parents`` parent links to already-placed ASes — so
+    the provider hierarchy is a DAG of varying depth, multi-homing is
+    common, and every AS is reachable.  A ``peer_fraction`` of the non-core
+    ASes get lateral peering links.  Construction is fully determined by
+    ``seed``; two calls with the same arguments produce identical
+    topologies (same links, names, and interface ids).
+    """
+    if n_ases < 1:
+        raise TopologyError("n_ases must be >= 1")
+    if max_parents < 1:
+        raise TopologyError("max_parents must be >= 1")
+    rng = random.Random(seed)
+    if n_core is None:
+        n_core = max(1, int(n_ases ** 0.5) // 2)
+    n_core = min(n_core, n_ases)
+
+    topo = GlobalTopology()
+    cores = [IA(isd, index + 1) for index in range(n_core)]
+    for core in cores:
+        topo.add_as(core, is_core=True, name=f"core-{core.asn}")
+    # Full core mesh: with sqrt-scaled cores this stays small (64 ASes ->
+    # 4 cores -> 6 core links) and gives the combinator real core-segment
+    # diversity.
+    for index, a in enumerate(cores):
+        for b in cores[index + 1:]:
+            topo.add_link(a, b, LinkType.CORE, rng.uniform(0.002, 0.050))
+
+    leaves = [IA(isd, 100 + index) for index in range(n_ases - n_core)]
+    placed: List[IA] = list(cores)
+    for leaf in leaves:
+        topo.add_as(leaf, name=f"as-{leaf.asn}")
+        n_parents = rng.randint(1, min(max_parents, len(placed)))
+        for parent in rng.sample(placed, n_parents):
+            topo.add_link(leaf, parent, LinkType.PARENT,
+                          rng.uniform(0.001, 0.020))
+        placed.append(leaf)
+    n_peers = int(peer_fraction * len(leaves))
+    for _ in range(n_peers):
+        if len(leaves) < 2:
+            break
+        a, b = rng.sample(leaves, 2)
+        topo.add_link(a, b, LinkType.PEER, rng.uniform(0.001, 0.010))
+    topo.validate()
+    return topo
