@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the LightningFilter hot path.
+
+The filter sits in front of the Science-DMZ at line rate, so its
+per-packet cost *is* the security tax.  Three angles:
+
+* verification throughput — derive-and-verify on honest traffic (the
+  DRKey fast side, one PRF chain + one MAC per packet);
+* flood rejection — the adversarial case: spoofed-source packets with
+  garbage tags, the path the red-team campaign exercises, which must not
+  be materially slower than the accept path (or rejection itself becomes
+  the DoS);
+* rate limiting — token-bucket accounting once the crypto gate passes.
+
+Snapshots land in ``BENCH_filter.json`` (see ``trajectory.py``); the
+``adversary-smoke`` CI job regenerates them next to the fast experiment.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.scion.addr import IA
+from repro.scion.crypto.keys import SymmetricKey
+from repro.sciera.lightningfilter import LightningFilter
+
+PACKETS = 2_000
+SOURCES = ["71-1:0:1", "71-2:0:9", "64-0:0:aa", "17-3:0:7"]
+
+
+def _filter(rate_limit_pps=None):
+    return LightningFilter(
+        IA(71, 9),
+        SymmetricKey(hashlib.sha256(b"bench-filter-host-key").digest()),
+        rate_limit_pps=rate_limit_pps,
+    )
+
+
+@pytest.fixture(scope="module")
+def honest_packets():
+    lf = _filter()
+    packets = []
+    for i in range(PACKETS):
+        src = SOURCES[i % len(SOURCES)]
+        payload = b"transfer-%d" % i
+        t = 100.0 + i * 1e-5
+        packets.append((src, payload, lf.compute_auth_tag(src, payload, t), t))
+    return packets
+
+
+def test_bench_verify_accept(benchmark, honest_packets):
+    """Honest traffic: derive the source key and verify, every packet."""
+
+    def run():
+        lf = _filter()
+        for src, payload, tag, t in honest_packets:
+            lf.process(src, payload, tag, t)
+        return lf
+
+    lf = benchmark(run)
+    benchmark.extra_info["units_per_op"] = PACKETS
+    assert lf.stats.accepted == PACKETS
+    assert lf.stats.rejected_auth == 0
+
+
+def test_bench_flood_reject(benchmark):
+    """Spoofed flood: every packet carries a garbage tag and must be
+    rejected by the crypto gate — at a cost comparable to acceptance."""
+    bad_tag = b"\x00" * 16
+
+    def run():
+        lf = _filter()
+        for i in range(PACKETS):
+            lf.process(
+                "66-6:0:bad", b"junk", bad_tag, 100.0 + i * 1e-5
+            )
+        return lf
+
+    lf = benchmark(run)
+    benchmark.extra_info["units_per_op"] = PACKETS
+    assert lf.stats.rejected_auth == PACKETS
+    assert lf.stats.accepted == 0
+
+
+def test_bench_rate_limited(benchmark, honest_packets):
+    """Authenticated but over-rate traffic: token-bucket bookkeeping."""
+
+    def run():
+        # 10k pps limit against ~100k pps offered: most packets hit the
+        # bucket-empty path after the initial burst drains.
+        lf = _filter(rate_limit_pps=10_000.0)
+        lf.burst = 100.0
+        for src, payload, tag, t in honest_packets:
+            lf.process(src, payload, tag, t)
+        return lf
+
+    lf = benchmark(run)
+    benchmark.extra_info["units_per_op"] = PACKETS
+    assert lf.stats.rejected_rate > 0
+    assert lf.stats.accepted > 0

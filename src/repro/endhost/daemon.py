@@ -69,6 +69,10 @@ class DaemonStats(CounterBackedStats):
         down, unknown path interface).
     revocations_received:
         Signed revocation tokens ingested via :meth:`handle_revocation`.
+    revocations_rejected:
+        Received tokens that failed signature verification and were
+        dropped before any down-marking, eviction, or upstream push —
+        a forged "this link is dead" claim must not move state.
     revocations_pushed:
         Revocations forwarded upstream to the AS's local path server.
     revocations_pulled:
@@ -88,10 +92,16 @@ class DaemonStats(CounterBackedStats):
     FIELDS = (
         "lookups", "cache_hits", "fetches", "refreshes", "failed_fetches",
         "stale_served", "scmp_interface_down", "revocations_received",
-        "revocations_pushed", "revocations_pulled", "paths_evicted",
-        "rejected_overload", "scmp_congestion",
+        "revocations_rejected", "revocations_pushed", "revocations_pulled",
+        "paths_evicted", "rejected_overload", "scmp_congestion",
     )
     PREFIX = "daemon"
+
+
+#: Constructor sentinel: "derive the revocation verifier from the network"
+#: (the default).  Distinct from ``None``, which disables verification —
+#: the fail-open mode the red-team experiment's naive arm uses.
+_NETWORK_VERIFIER = object()
 
 
 class Daemon:
@@ -105,6 +115,7 @@ class Daemon:
         down_interface_ttl_s: float = 60.0,
         fetch: Optional[Callable[[IA], List[PathMeta]]] = None,
         propagate_revocations: bool = True,
+        revocation_verifier: object = _NETWORK_VERIFIER,
         telemetry: Optional[Telemetry] = None,
     ):
         self.network = network
@@ -121,6 +132,22 @@ class Daemon:
         self.stats = DaemonStats(
             self.telemetry.metrics if self.telemetry.enabled else None,
             labels={"as": str(ia)},
+        )
+        #: Same contract as :attr:`LocalPathServer.revocation_verifier`:
+        #: a predicate checking a token's signature against the revoking
+        #: AS's public key.  Defaults to the network's resolver; ``None``
+        #: accepts every token (fail-open, naive-stack arm only).
+        self.revocation_verifier: Optional[Callable[[Revocation], bool]] = (
+            network.verify_revocation
+            if revocation_verifier is _NETWORK_VERIFIER
+            else revocation_verifier  # type: ignore[assignment]
+        )
+        #: Security attribution: forged (unverifiable) revocation tokens
+        #: this daemon refused to act on.
+        self._security_forged_revocations = self.telemetry.metrics.counter(
+            "security_forged_revocations_total",
+            "Revocation tokens rejected for failing signature verification.",
+            labels={"as": str(ia), "where": "daemon"},
         )
         self.trust_store = TrustStore()
         for isd in network.topology.isds():
@@ -284,6 +311,24 @@ class Daemon:
 
     def _ingest_revocation(self, revocation: Revocation, now: float) -> None:
         self.stats.inc("revocations_received")
+        if (
+            self.revocation_verifier is not None
+            and not self.revocation_verifier(revocation)
+        ):
+            # Forged token: anyone can *claim* an interface died, but only
+            # the owning AS can say so authoritatively.  Reject before any
+            # state moves — no down-mark, no eviction, no upstream push.
+            self.stats.inc("revocations_rejected")
+            self._security_forged_revocations.inc()
+            tel = self.telemetry
+            if tel.enabled:
+                tel.events.record(
+                    now, "security", "forged-revocation",
+                    target=revocation.key,
+                    detail=f"rejected at daemon {self.ia}: bad signature",
+                    severity="critical",
+                )
+            return
         self._mark_down(revocation.key, revocation.expires_at())
         self._evict_paths_over(revocation.key)
         if self.propagate_revocations:

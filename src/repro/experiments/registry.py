@@ -65,6 +65,8 @@ EXPERIMENTS: Dict[str, Tuple[str, str]] = {
                  "Overload control and graceful degradation"),
     "crucible": ("repro.experiments.crucible",
                  "Deterministic simulation testing (fuzzed fault schedules)"),
+    "adversary": ("repro.experiments.adversary",
+                  "Byzantine red-team campaign (hardened vs naive stack)"),
 }
 
 

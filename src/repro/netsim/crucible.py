@@ -27,6 +27,18 @@ fires is worse than none):
   under a load surge; the ``codel-spares-critical`` invariant must catch
   it and the shrinker must reduce the schedule to (essentially) the
   surge that triggers it.
+* ``"trust-revocations"`` — daemons and path servers skip revocation
+  signature verification and freshness checking (the pre-hardening
+  behaviour); an adversarial schedule's forged/replayed revocations then
+  poison the quarantine and the ``security-*`` invariants must catch it.
+
+Adversarial faults (:data:`ADVERSARY_KINDS`, drawn by
+:func:`generate_adversarial_schedule`) live in a *separate* kind tuple:
+the default generator never draws them, so every legacy seeded schedule —
+and its fault digest — is byte-identical to before the adversary existed.
+The Byzantine attacks themselves come from
+:class:`repro.netsim.adversary.ByzantineAdversary`, which owns a private
+RNG for the same reason.
 """
 
 from __future__ import annotations
@@ -39,10 +51,11 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.overload import CircuitBreaker, OverloadGuard
+from repro.core.overload import CircuitBreaker, OverloadGuard, OverloadRejected
 from repro.core.supervisor import Supervisor
 from repro.core.monitoring import ConnectivityMonitor
 from repro.endhost.daemon import Daemon
+from repro.netsim.adversary import ByzantineAdversary
 from repro.netsim.chaos import FaultInjector, FaultProfile, LoadSurge
 from repro.netsim.invariants import InvariantChecker, Violation
 from repro.netsim.simulator import Simulator
@@ -60,7 +73,10 @@ class CrucibleError(Exception):
     """Raised for invalid schedules, artifacts, or shrink requests."""
 
 
-#: Every fault kind the generator composes.
+#: Every *benign* fault kind the default generator composes.  Adversarial
+#: kinds are deliberately NOT in this tuple: appending them would shift
+#: ``rng.choice(kinds)`` for every legacy seed and silently change every
+#: pinned schedule digest.
 FAULT_KINDS = (
     "link-outage",
     "probe-chaos",
@@ -69,6 +85,20 @@ FAULT_KINDS = (
     "ca-outage",
     "load-surge",
 )
+
+#: Byzantine fault kinds, opt-in via :func:`generate_adversarial_schedule`
+#: (or an explicit ``kinds=`` argument).  Beacon-forgery attacks are not
+#: drawn here: the crucible world runs with ``verify_beacons=False`` for
+#: speed, so beacon attacks live in the ``adversary`` experiment, which
+#: builds a fully verifying network.
+ADVERSARY_KINDS = (
+    "adv-forge-revocation",
+    "adv-replay-revocation",
+    "adv-tamper-packet",
+    "adv-flood",
+)
+
+ALL_FAULT_KINDS = FAULT_KINDS + ADVERSARY_KINDS
 
 #: Workload/invariant-check cadence inside a run.
 TICK_S = 0.5
@@ -99,7 +129,7 @@ class FaultSpec:
     size: int = 1           # partition subset size
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise CrucibleError(f"unknown fault kind {self.kind!r}")
         if self.end_s < self.start_s:
             raise CrucibleError("fault must not heal before it starts")
@@ -169,7 +199,7 @@ def generate_schedule(
     if n_faults < 1:
         raise CrucibleError("n_faults must be >= 1")
     for kind in kinds:
-        if kind not in FAULT_KINDS:
+        if kind not in ALL_FAULT_KINDS:
             raise CrucibleError(f"unknown fault kind {kind!r}")
     # Seed with a string so the stream is independent of the process hash
     # seed and distinct per (seed, topology).
@@ -207,6 +237,48 @@ def generate_schedule(
         settle_s=settle_s,
         faults=tuple(faults),
     )
+
+
+def generate_adversarial_schedule(
+    seed: int,
+    topology: str = "mesh5",
+    n_faults: int = 5,
+    duration_s: float = 8.0,
+    settle_s: float = 5.0,
+    ensure_kind: Optional[str] = None,
+) -> Schedule:
+    """A composite schedule mixing benign chaos with Byzantine attacks.
+
+    Same generator, wider kind pool (:data:`ALL_FAULT_KINDS`): attacks
+    land *between* crashes and partitions, which is exactly when a
+    verification gap would hurt most.  ``ensure_kind`` (default: at least
+    one adversarial fault of some kind) lets the shrink demo guarantee the
+    attack it is hunting is present.
+    """
+    schedule = generate_schedule(
+        seed,
+        topology=topology,
+        n_faults=n_faults,
+        duration_s=duration_s,
+        settle_s=settle_s,
+        kinds=ALL_FAULT_KINDS,
+        ensure_kind=ensure_kind,
+    )
+    if ensure_kind is None and not any(
+        spec.kind in ADVERSARY_KINDS for spec in schedule.faults
+    ):
+        # Re-draw with a forced adversarial fault so "adversarial
+        # schedule" always means what it says.
+        schedule = generate_schedule(
+            seed,
+            topology=topology,
+            n_faults=n_faults,
+            duration_s=duration_s,
+            settle_s=settle_s,
+            kinds=ALL_FAULT_KINDS,
+            ensure_kind=ADVERSARY_KINDS[seed % len(ADVERSARY_KINDS)],
+        )
+    return schedule
 
 
 # -- topology catalog --------------------------------------------------------------
@@ -355,6 +427,28 @@ class CrucibleWorld:
                 name=f"lookup:{src}", failure_threshold=3,
                 reset_timeout_s=1.0, telemetry=self.telemetry,
             )
+        if bug == "trust-revocations":
+            # The pre-hardening ingestion behaviour: accept any revocation
+            # shape without signature or freshness checks.  Adversarial
+            # schedules must make the security invariants catch this.
+            for service in self.network.services.values():
+                service.path_server.revocation_verifier = None
+                service.path_server.check_revocation_freshness = False
+            for daemon in self.daemons.values():
+                daemon.revocation_verifier = None
+        #: The resident Byzantine actor.  Its RNG and event stream are
+        #: fully separate from the injector's, so worlds that never draw
+        #: an adversarial fault behave (and digest) exactly as before.
+        self.adversary = ByzantineAdversary(
+            self.network,
+            seed=schedule.seed ^ 0xAD7E65A1,
+            event_log=self.telemetry.events,
+        )
+        #: Attack/benign fault windows currently open — the gates for the
+        #: under-attack security invariants (goodput floor, no isolation).
+        self.attacks_active = 0
+        self.benign_faults_active = 0
+        self.attack_goodput_floor = 0.8
         vantage, target = self.workload_pairs[0]
         self.monitors = [
             ConnectivityMonitor(
@@ -414,10 +508,25 @@ class CrucibleWorld:
     # -- workload ----------------------------------------------------------------
 
     def measure_goodput(self, now: float) -> float:
-        """Fraction of workload pairs with a working path right now."""
+        """Fraction of workload pairs with a working path right now.
+
+        Goodput is a *data-plane* property: the lookup goes through
+        admission at critical priority, and if the guard still refuses
+        (queue full under a request flood) we fall back to an
+        admission-free registry view — honest endpoints that already hold
+        paths keep transferring while the control plane sheds load.
+        Control-plane DoS pressure is accounted by the overload
+        invariants, not this measurement.
+        """
         ok = 0
         for src, dst in self.workload_pairs:
-            for meta in self.network.paths(src, dst, refresh=True, now=now):
+            try:
+                metas = self.network.paths(
+                    src, dst, refresh=True, now=now, priority=0
+                )
+            except OverloadRejected:
+                metas = self.network.paths(src, dst, refresh=True)
+            for meta in metas:
                 if self.network.dataplane.probe(meta.path, now).success:
                     ok += 1
                     break
@@ -462,6 +571,71 @@ class CrucibleWorld:
 
 # -- fault application -------------------------------------------------------------
 
+#: How long a benign fault's *effects* linger past its heal time — the
+#: window stays counted in ``benign_faults_active`` so the under-attack
+#: security invariants do not blame the adversary for chaos still
+#: draining (quarantine TTLs after a link outage, supervisor restart lag
+#: after a crash).
+_BENIGN_LINGER_S = {
+    "link-outage": REVOCATION_TTL_S,
+    "partition": REVOCATION_TTL_S,
+    "service-crash": 3.0,
+    "probe-chaos": 0.5,
+    "ca-outage": 0.5,
+    "load-surge": 0.5,
+}
+
+
+def _apply_adversarial_fault(
+    world: CrucibleWorld, spec: FaultSpec, fault_id: int
+) -> None:
+    """Mount one Byzantine attack and hold its window open until heal."""
+    sim = world.sim
+    now = sim.now
+    t0 = float(world.network.timestamp)
+    heal_at = t0 + spec.end_s
+    adversary = world.adversary
+    injector = world.injector
+    topology = world.network.topology
+    world.attacks_active += 1
+
+    def close_window() -> None:
+        world.attacks_active -= 1
+
+    sim.schedule_at(max(heal_at, now), close_window)
+    if spec.kind in ("adv-forge-revocation", "adv-replay-revocation"):
+        ases = sorted(topology.ases)
+        victim = ases[spec.index % len(ases)]
+        ifids = sorted(topology.get(victim).interfaces)
+        ifid = ifids[spec.index % len(ifids)]
+        daemon = world.daemons[world.workload_pairs[0][0]]
+        injector.record(
+            now, f"{victim}#{ifid}", spec.kind, "byzantine token injected"
+        )
+        if spec.kind == "adv-forge-revocation":
+            adversary.forge_revocation(victim, ifid, now, daemon=daemon)
+        else:
+            adversary.replay_revocation(victim, ifid, now, daemon=daemon)
+    elif spec.kind == "adv-tamper-packet":
+        src, dst = world.workload_pairs[spec.index % len(world.workload_pairs)]
+        mode = "inflate" if spec.param >= 0.5 else "mac"
+        injector.record(
+            now, f"{src}->{dst}", spec.kind, f"on-path tamper mode={mode}"
+        )
+        adversary.tamper_packet(src, dst, now, mode=mode)
+    elif spec.kind == "adv-flood":
+        guard = world.guards[spec.index % len(world.guards)]
+        requests = 150 + int(300 * spec.param)
+        injector.record(
+            now, guard.name, spec.kind, f"{requests} spoofed requests"
+        )
+        adversary.flood_guard(
+            guard, now, target=guard.name, requests=requests,
+            duration_s=max(0.4, spec.end_s - spec.start_s),
+        )
+    else:  # pragma: no cover - dispatcher checks membership first
+        raise CrucibleError(f"unknown adversarial fault kind {spec.kind!r}")
+
 
 def _apply_fault(world: CrucibleWorld, spec: FaultSpec, fault_id: int) -> None:
     """Start one fault at its absolute time and schedule its heal."""
@@ -470,6 +644,17 @@ def _apply_fault(world: CrucibleWorld, spec: FaultSpec, fault_id: int) -> None:
     t0 = float(world.network.timestamp)
     heal_at = t0 + spec.end_s
     injector = world.injector
+    if spec.kind in ADVERSARY_KINDS:
+        _apply_adversarial_fault(world, spec, fault_id)
+        return
+    world.benign_faults_active += 1
+
+    def benign_window_closed() -> None:
+        world.benign_faults_active -= 1
+
+    sim.schedule_at(
+        max(now, heal_at + _BENIGN_LINGER_S[spec.kind]), benign_window_closed
+    )
     if spec.kind == "link-outage":
         names = sorted(world.network.topology.links)
         name = names[spec.index % len(names)]

@@ -301,6 +301,176 @@ def check_trace_trees_valid(world, now: float) -> Optional[str]:
     return None
 
 
+# -- security invariants (adversarial worlds) ---------------------------------------
+#
+# These predicates state what the hardened stack guarantees *while under
+# attack* by a Byzantine adversary (:mod:`repro.netsim.adversary`).  They
+# self-gate on ``world.adversary`` — worlds without one (every legacy
+# schedule) return immediately, consume no randomness, and stay out of
+# every seeded digest.
+
+
+def _adversary(world):
+    return getattr(world, "adversary", None)
+
+
+def _stored_beacons(network):
+    """Every beacon the control plane currently holds, wherever it lives:
+    the shared registry, the per-AS beacon stores, and local up-segment
+    tables."""
+    snapshot = network.registry.snapshot()
+    for table in (snapshot["down"], snapshot["core"]):
+        for bucket in table.values():
+            yield from bucket.values()
+    engine = network.beaconing
+    if engine is not None:
+        for stores in (engine.core_stores, engine.down_stores):
+            for store in stores.values():
+                yield from store.all_beacons()
+    for _, service in sorted(network.services.items()):
+        yield from service.path_server.up_segments
+
+
+def check_forged_beacon_never_stored(world, now: float) -> Optional[str]:
+    """No forged or replayed PCB is ever stored or registered.
+
+    Identity is the origin entry's signature: it binds the signing key and
+    the timestamped message, so honest beacons can never collide with a
+    tracked forgery (unlike ``seg_id``, which an honest origination at the
+    same instant reproduces).  Termination and propagation preserve prefix
+    signatures, so poison is traceable wherever it spreads.
+    """
+    adversary = _adversary(world)
+    if adversary is None:
+        return None
+    poisoned = (
+        adversary.forged_beacon_signatures
+        | adversary.replayed_beacon_signatures
+    )
+    if not poisoned:
+        return None
+    for beacon in _stored_beacons(world.network):
+        if beacon.entries[0].signature in poisoned:
+            which = (
+                "forged"
+                if beacon.entries[0].signature
+                in adversary.forged_beacon_signatures
+                else "replayed"
+            )
+            return (
+                f"{which} beacon claiming origin {beacon.origin_ia} "
+                f"(seg_id {beacon.seg_id}) is stored in the control plane"
+            )
+    return None
+
+
+def check_forged_revocation_never_quarantines(world, now: float) -> Optional[str]:
+    """A revocation not signed by the owning AS never takes effect.
+
+    Checked two ways: none of the adversary's forged tokens is in the
+    registry's active set (state), and no forge-revocation attack reported
+    success (behaviour) — either alone could miss a partial ingestion.
+    """
+    adversary = _adversary(world)
+    if adversary is None or not adversary.forged_revocations:
+        return None
+    active = world.network.registry.active_revocations()
+    for token in adversary.forged_revocations:
+        if token in active:
+            return f"forged revocation {token.key} is active in the registry"
+    for outcome in adversary.successes("forge-revocation"):
+        return (
+            f"forge-revocation succeeded against {outcome.target}: "
+            f"{outcome.detail}"
+        )
+    return None
+
+
+def check_replayed_revocation_ignored(world, now: float) -> Optional[str]:
+    """A genuine revocation replayed past its TTL never re-quarantines."""
+    adversary = _adversary(world)
+    if adversary is None or not adversary.replayed_revocations:
+        return None
+    active = world.network.registry.active_revocations()
+    for token in adversary.replayed_revocations:
+        if token in active:
+            return (
+                f"replayed revocation {token.key} (expired "
+                f"{token.expires_at():.3f}) is active in the registry"
+            )
+    for outcome in adversary.successes("replay-revocation"):
+        return (
+            f"replay-revocation succeeded against {outcome.target}: "
+            f"{outcome.detail}"
+        )
+    return None
+
+
+def check_tampered_packet_never_delivered(world, now: float) -> Optional[str]:
+    """No packet whose hop fields were tampered with mid-path — MAC bits
+    flipped, or a compromised AS inflating its own hop's lifetime — is
+    ever delivered end to end."""
+    adversary = _adversary(world)
+    if adversary is None:
+        return None
+    for outcome in adversary.successes("tamper-packet"):
+        return (
+            f"tampered packet delivered {outcome.target}: {outcome.detail}"
+        )
+    return None
+
+
+def check_honest_goodput_under_attack(world, now: float) -> Optional[str]:
+    """While *only* adversarial faults are active, honest priority-0
+    traffic keeps at least ``attack_goodput_floor`` of the no-attack
+    baseline — the attack surcharge must not starve honest users.
+
+    Gated on ``benign_faults_active == 0``: with benign faults (crashes,
+    link cuts) in flight, degraded goodput is chaos doing its job, not an
+    adversarial amplification.
+    """
+    adversary = _adversary(world)
+    if adversary is None:
+        return None
+    if getattr(world, "attacks_active", 0) <= 0:
+        return None
+    if getattr(world, "benign_faults_active", 0) > 0:
+        return None
+    baseline = world.baseline_goodput
+    if not baseline:
+        return None
+    floor_fraction = getattr(world, "attack_goodput_floor", 0.8)
+    goodput = world.measure_goodput(now)
+    floor = floor_fraction * baseline
+    if goodput < floor:
+        return (
+            f"honest goodput {goodput:.3f} under attack below "
+            f"{floor_fraction:.0%} of no-attack baseline {baseline:.3f}"
+        )
+    return None
+
+
+def check_no_honest_as_isolated(world, now: float) -> Optional[str]:
+    """While *only* adversarial faults are active, every honest workload
+    pair still has control-plane paths: a lying neighbor (forged beacons,
+    fake revocations) must never disconnect ASes it does not sit between.
+    """
+    adversary = _adversary(world)
+    if adversary is None:
+        return None
+    if getattr(world, "attacks_active", 0) <= 0:
+        return None
+    if getattr(world, "benign_faults_active", 0) > 0:
+        return None
+    for src, dst in world.workload_pairs:
+        if not world.network.paths(src, dst, refresh=True):
+            return (
+                f"honest pair {src}->{dst} has no control-plane paths "
+                "under adversarial faults alone"
+            )
+    return None
+
+
 # -- eventually-invariants ---------------------------------------------------------
 
 
@@ -394,6 +564,36 @@ def standard_invariants() -> List[Invariant]:
         Invariant(
             "trace-trees-valid", ALWAYS, check_trace_trees_valid,
             "telemetry trace trees remain structurally sound",
+        ),
+        Invariant(
+            "security-forged-beacon-unregistered", ALWAYS,
+            check_forged_beacon_never_stored,
+            "forged/replayed PCBs are never stored or registered",
+        ),
+        Invariant(
+            "security-forged-revocation-rejected", ALWAYS,
+            check_forged_revocation_never_quarantines,
+            "revocations not signed by the owning AS never quarantine",
+        ),
+        Invariant(
+            "security-replayed-revocation-ignored", ALWAYS,
+            check_replayed_revocation_ignored,
+            "genuine revocations replayed past their TTL never re-quarantine",
+        ),
+        Invariant(
+            "security-tamper-never-delivered", ALWAYS,
+            check_tampered_packet_never_delivered,
+            "packets with tampered hop fields are never delivered",
+        ),
+        Invariant(
+            "security-honest-goodput-under-attack", ALWAYS,
+            check_honest_goodput_under_attack,
+            "honest traffic keeps a goodput floor while under attack alone",
+        ),
+        Invariant(
+            "security-no-honest-as-isolated", ALWAYS,
+            check_no_honest_as_isolated,
+            "a lying neighbor cannot isolate honest ASes from each other",
         ),
         Invariant(
             "beacon-reconvergence", EVENTUALLY, check_beacon_reconvergence,

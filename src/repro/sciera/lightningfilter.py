@@ -16,8 +16,9 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
+from repro.obs import Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.crypto.drkey import DrkeyProvider
 from repro.scion.crypto.keys import SymmetricKey
@@ -51,6 +52,7 @@ class LightningFilter:
         cores: int = 8,
         rate_limit_pps: Optional[float] = 200_000.0,
         burst: float = 20_000.0,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.local_ia = local_ia
         self._drkey = DrkeyProvider(str(local_ia), host_key)
@@ -59,8 +61,33 @@ class LightningFilter:
         self.burst = burst
         self.stats = FilterStats()
         self._buckets: Dict[str, _Bucket] = {}
+        #: Fail-open escape hatch for the red-team experiment's naive arm:
+        #: with authentication off, any spoofed-source packet passes the
+        #: crypto gate.  Never disable outside that contrast.
+        self.verify_auth = True
+        tel = resolve(telemetry)
+        self._telemetry = tel
+        labels = {"as": str(local_ia)}
+        self._security_rejected_auth = tel.metrics.counter(
+            "security_filter_rejections_total",
+            "Packets the LightningFilter refused, by reason.",
+            labels={**labels, "reason": "auth"},
+        )
+        self._security_rejected_rate = tel.metrics.counter(
+            "security_filter_rejections_total",
+            "Packets the LightningFilter refused, by reason.",
+            labels={**labels, "reason": "rate"},
+        )
+        #: Sources already alerted on, per reason — a flood is one
+        #: incident, not a million timeline entries.
+        self._alerted: Set[Tuple[str, str]] = set()
 
     # -- DRKey authentication ---------------------------------------------------------
+
+    @property
+    def epoch_s(self) -> float:
+        """The DRKey epoch length the filter derives keys against."""
+        return self._drkey.epoch_s
 
     def derive_source_key(self, src_ia: str, now_s: float = 0.0) -> SymmetricKey:
         """The DRKey level-1 key shared with ``src_ia`` — derived on the
@@ -88,17 +115,35 @@ class LightningFilter:
         size_bytes: Optional[int] = None,
     ) -> bool:
         """Filter one packet; returns True if it is forwarded onward."""
-        if not self.verify(src_ia, payload, tag, now_s):
+        if self.verify_auth and not self.verify(src_ia, payload, tag, now_s):
             self.stats.rejected_auth += 1
+            self._security_rejected_auth.inc()
+            self._alert_once(src_ia, "auth", now_s)
             return False
         if self.rate_limit_pps is not None and not self._take_token(src_ia, now_s):
             self.stats.rejected_rate += 1
+            self._security_rejected_rate.inc()
+            self._alert_once(src_ia, "rate", now_s)
             return False
         self.stats.accepted += 1
         self.stats.bytes_accepted += (
             size_bytes if size_bytes is not None else len(payload)
         )
         return True
+
+    def _alert_once(self, src_ia: str, reason: str, now_s: float) -> None:
+        """One timeline alert per (source, reason) — dedup the flood."""
+        tel = self._telemetry
+        if not tel.enabled or (src_ia, reason) in self._alerted:
+            return
+        self._alerted.add((src_ia, reason))
+        kind = "flood-detected" if reason == "rate" else "bad-auth-traffic"
+        tel.events.record(
+            now_s, "security", kind,
+            target=f"{src_ia}->{self.local_ia}",
+            detail=f"LightningFilter rejecting {src_ia} traffic ({reason})",
+            severity="critical",
+        )
 
     def _take_token(self, src_ia: str, now_s: float) -> bool:
         bucket = self._buckets.get(src_ia)

@@ -179,6 +179,15 @@ class BeaconingStats:
     beacons_accepted: int = 0
     beacons_rejected_loop: int = 0
     beacons_rejected_invalid: int = 0
+    beacons_rejected_replayed: int = 0
+
+
+#: Maximum acceptable beacon age at receive time.  Honest propagation in
+#: this model is instantaneous (beacons carry the engine's own timestamp)
+#: and real SCION origination periods are seconds, so anything an hour old
+#: can only be a replayed stale PCB — comfortably below the 24 h hop-field
+#: expiry that would otherwise be the only freshness bound.
+MAX_BEACON_AGE_S = 3600.0
 
 
 class BeaconingEngine:
@@ -194,6 +203,7 @@ class BeaconingEngine:
         k_propagate: int = 6,
         store_capacity: int = 48,
         verify_beacons: bool = True,
+        max_beacon_age_s: Optional[float] = MAX_BEACON_AGE_S,
         telemetry: Optional[Telemetry] = None,
     ):
         self.topology = topology
@@ -203,8 +213,23 @@ class BeaconingEngine:
         self.timestamp = timestamp
         self.k_propagate = k_propagate
         self.verify_beacons = verify_beacons
+        #: Freshness bound on received beacons; ``None`` disables the
+        #: check (the red-team experiment's naive arm).  Independent of
+        #: ``verify_beacons``: staleness needs no crypto to detect.
+        self.max_beacon_age_s = max_beacon_age_s
         self.stats = BeaconingStats()
-        self._tracer = resolve(telemetry).tracer
+        tel = resolve(telemetry)
+        self._telemetry = tel
+        self._tracer = tel.tracer
+        # Security attribution for adversarial beacon shapes.
+        self._security_forged_beacons = tel.metrics.counter(
+            "security_forged_beacons_total",
+            "Beacons rejected for failing signature verification.",
+        )
+        self._security_replayed_beacons = tel.metrics.counter(
+            "security_replayed_beacons_total",
+            "Beacons rejected for being older than the freshness bound.",
+        )
         #: beacon fingerprint -> root span of its origination trace, so a
         #: stored beacon's later propagation and registration link back to
         #: the PCB that started the diffusion.
@@ -287,11 +312,44 @@ class BeaconingEngine:
         if receiver in beacon.as_sequence():
             self.stats.beacons_rejected_loop += 1
             return False
+        if (
+            self.max_beacon_age_s is not None
+            and self.timestamp - beacon.timestamp > self.max_beacon_age_s
+        ):
+            # Replayed stale PCB: valid-looking (possibly even correctly
+            # signed) but minted far in the past.  Accepting it would let
+            # an attacker resurrect withdrawn topology.
+            self.stats.beacons_rejected_replayed += 1
+            self._security_replayed_beacons.inc()
+            if self._telemetry.enabled:
+                self._telemetry.events.record(
+                    float(self.timestamp), "security", "replayed-beacon",
+                    target=str(receiver),
+                    detail=f"beacon from {beacon.origin_ia} aged "
+                           f"{self.timestamp - beacon.timestamp:.0f}s",
+                    severity="critical",
+                )
+            if parent_span is not None:
+                self._tracer.add(
+                    "beacon.reject", now=float(self.timestamp),
+                    parent=parent_span, status="error",
+                    receiver=str(receiver), reason="replayed-stale",
+                )
+            return False
         if self.verify_beacons:
             try:
                 beacon.verify(self.key_resolver, self.timestamp)
             except BeaconError:
                 self.stats.beacons_rejected_invalid += 1
+                self._security_forged_beacons.inc()
+                if self._telemetry.enabled:
+                    self._telemetry.events.record(
+                        float(self.timestamp), "security", "forged-beacon",
+                        target=str(receiver),
+                        detail=f"beacon claiming origin {beacon.origin_ia} "
+                               "failed signature verification",
+                        severity="critical",
+                    )
                 if parent_span is not None:
                     self._tracer.add(
                         "beacon.reject", now=float(self.timestamp),
@@ -316,6 +374,22 @@ class BeaconingEngine:
                 )
             return True
         return False
+
+    def receive_external(
+        self, receiver: IA, ingress: int, beacon: Beacon,
+        segment: str = "down",
+    ) -> bool:
+        """Ingest a beacon handed over by a neighbor outside :meth:`run`.
+
+        This is the engine's untrusted network-facing surface: anything a
+        (possibly rogue) neighbor claims is a PCB arrives here and passes
+        the same loop, freshness, and signature gates as in-round
+        propagation.  Returns True only if the beacon was stored.
+        """
+        stores = self.core_stores if segment == "core" else self.down_stores
+        if receiver not in stores:
+            raise BeaconError(f"unknown receiver {receiver}")
+        return self._receive(stores[receiver], receiver, ingress, beacon)
 
     # -- propagation --------------------------------------------------------------
 

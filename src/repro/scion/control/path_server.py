@@ -37,6 +37,8 @@ class RegistryStats(CounterBackedStats):
 
     * ``revocations_received`` — revocations accepted into quarantine.
     * ``revocations_rejected`` — dropped on signature verification.
+    * ``revocations_replayed`` — arrived already past their TTL (a
+      replayed stale token: valid signature, dead lifetime) and ignored.
     * ``revocations_expired`` — lazily purged after their TTL ran out.
     * ``revocations_cleared_by_beacon`` — cleared early by a re-validating
       beacon (a fresh segment crossing the revoked interface proves the
@@ -48,8 +50,8 @@ class RegistryStats(CounterBackedStats):
     FIELDS = (
         "registrations", "lookups", "cache_hits", "purged_expired",
         "revocations_received", "revocations_rejected",
-        "revocations_expired", "revocations_cleared_by_beacon",
-        "segments_quarantined",
+        "revocations_replayed", "revocations_expired",
+        "revocations_cleared_by_beacon", "segments_quarantined",
     )
     PREFIX = "registry"
 
@@ -390,11 +392,27 @@ class LocalPathServer:
             "Modeled path-lookup latency at the local path server.",
             labels={"as": str(ia)},
         )
+        # Security attribution for the two adversarial revocation shapes.
+        self._security_forged_revocations = tel.metrics.counter(
+            "security_forged_revocations_total",
+            "Revocation tokens rejected for failing signature verification.",
+            labels={"as": str(ia), "where": "path-server"},
+        )
+        self._security_replayed_revocations = tel.metrics.counter(
+            "security_replayed_revocations_total",
+            "Revocation tokens ignored because their TTL had already "
+            "expired (replayed stale tokens).",
+            labels={"as": str(ia)},
+        )
         #: Checks a revocation's signature against the revoking AS's public
         #: key (wired by ScionNetwork).  When set, unverifiable revocations
         #: are rejected — anyone can *claim* an interface died; only the AS
         #: that owns it can say so authoritatively.
         self.revocation_verifier = revocation_verifier
+        #: Fail-open escape hatch for the red-team experiment's naive arm:
+        #: with freshness checking off, a replayed token past its TTL is
+        #: ingested like a live one.  Never disable outside that contrast.
+        self.check_revocation_freshness = True
         #: Called with every accepted revocation — the supervisor hangs its
         #: replay ledger here.
         self.on_revocation: Optional[Callable[[Revocation], None]] = None
@@ -443,12 +461,41 @@ class LocalPathServer:
         revocations flow to the :attr:`on_revocation` hook so a supervisor
         can replay them into a restarted server.
         """
-        if now is not None and not revocation.active(now):
+        if (
+            self.check_revocation_freshness
+            and now is not None
+            and not revocation.active(now)
+        ):
+            # A token past its TTL arriving now is a replay: the network
+            # already healed (or never broke); re-quarantining from a dead
+            # token would let an attacker suppress a healthy link with a
+            # captured message.
+            self.registry.stats.inc("revocations_replayed")
+            self._security_replayed_revocations.inc()
+            tel = self._telemetry
+            if tel.enabled:
+                tel.events.record(
+                    now, "security", "replayed-revocation",
+                    target=revocation.key,
+                    detail=f"ignored at {self.ia}: token expired at "
+                           f"{revocation.expires_at():.3f}",
+                    severity="warning",
+                )
             return 0
         if self.revocation_verifier is not None and not self.revocation_verifier(
             revocation
         ):
             self.registry.stats.inc("revocations_rejected")
+            self._security_forged_revocations.inc()
+            tel = self._telemetry
+            if tel.enabled:
+                at = now if now is not None else revocation.issued_at
+                tel.events.record(
+                    at, "security", "forged-revocation",
+                    target=revocation.key,
+                    detail=f"rejected at {self.ia}: bad signature",
+                    severity="critical",
+                )
             return 0
         if self.registry.covers(revocation):
             return 0

@@ -502,6 +502,13 @@ class ScionDataplane:
             router.release(egress)
             if reason == "link-down":
                 router.link_down_drops.inc()
+            elif reason == "chaos-corrupt":
+                # A mangled frame is rejected by the *receiving* router's
+                # CRC/MAC check — attribute it there so wire corruption is
+                # distinguishable from silent loss in the drop telemetry.
+                receiver = self.routers.get(iface.remote_ia)
+                if receiver is not None:
+                    receiver.corrupt_frame_drops.inc()
             # Only a down link is a router-attributable failure; chaos loss
             # and corruption vanish without an error message.
             scmp = (

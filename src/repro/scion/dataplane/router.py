@@ -31,7 +31,7 @@ from typing import Dict, Optional, Set
 from repro.obs import CounterBackedStats, Telemetry, resolve
 from repro.scion.addr import IA
 from repro.scion.crypto.keys import SymmetricKey
-from repro.scion.path import HopRecord
+from repro.scion.path import DEFAULT_HOP_EXPIRY_S, HopRecord
 from repro.scion.scmp import ScmpMessage, interface_down
 from repro.scion.topology import AsTopology
 
@@ -41,11 +41,29 @@ class Verdict(enum.Enum):
     DELIVER = "deliver"          # destination AS reached; hand to end host
     CROSSOVER = "crossover"      # segment switch inside this AS; process next hop
     DROP_BAD_MAC = "drop-bad-mac"
+    DROP_INFLATED_HOP = "drop-inflated-hop"
     DROP_EXPIRED = "drop-expired"
     DROP_NO_INTERFACE = "drop-no-interface"
     DROP_INTERFACE_DOWN = "drop-interface-down"
     DROP_WRONG_INGRESS = "drop-wrong-ingress"
     DROP_QUEUE_FULL = "drop-queue-full"
+
+
+#: Hard upper bound on a hop field's lifetime relative to its segment's
+#: info-field timestamp.  Honest beaconing mints hops that expire exactly
+#: ``DEFAULT_HOP_EXPIRY_S`` after origination, so anything *strictly*
+#: beyond the bound can only come from a forger — including a compromised
+#: AS that owns a real forwarding key and can therefore mint hop fields
+#: whose MACs verify.  The lifetime bound catches what MAC verification
+#: structurally cannot.
+MAX_HOP_LIFETIME_S = DEFAULT_HOP_EXPIRY_S
+
+#: Drop verdicts that indicate an *adversarial* packet (tampered or forged
+#: hop fields) rather than a stale path or an operational failure; these
+#: also count toward ``security_tampered_packets_total``.
+_TAMPER_VERDICTS = frozenset(
+    {Verdict.DROP_BAD_MAC, Verdict.DROP_INFLATED_HOP}
+)
 
 
 @dataclass(frozen=True)
@@ -125,6 +143,27 @@ class BorderRouter:
             "Packets dropped at the border router, by reason.",
             labels={**labels, "reason": "link-down"},
         )
+        # Frames that arrived mangled on the wire (chaos corruption) are
+        # attributed to the *receiving* router, the node whose CRC/MAC
+        # check would reject them in a real deployment.
+        self.corrupt_frame_drops = tel.metrics.counter(
+            "router_drops_total",
+            "Packets dropped at the border router, by reason.",
+            labels={**labels, "reason": "corrupt-frame"},
+        )
+        # Security attribution: every tampered/forged packet this router
+        # rejected (bad MAC or inflated hop lifetime), regardless of which
+        # specific drop verdict labelled it.
+        self.security_tampered = tel.metrics.counter(
+            "security_tampered_packets_total",
+            "Adversarial packets (tampered or forged hop fields) dropped.",
+            labels=labels,
+        )
+        #: Fail-open escape hatch for the red-team experiment's naive arm:
+        #: a "verification-off" router skips hop-field MAC verification and
+        #: the hop-lifetime bound entirely.  Never disable outside that
+        #: contrast — the hardened default is what the invariants assume.
+        self.verify_macs = True
         self._queue_depth: Dict[int, int] = {}
         self._down_interfaces: Set[int] = set()
         # One immutable FORWARD decision per egress interface, built lazily:
@@ -154,8 +193,11 @@ class BorderRouter:
             )
         if hop.expiry < now:
             return self._drop_decision(Verdict.DROP_EXPIRED)
-        if not hop.verify(self._key, record.info.timestamp):
-            return self._drop_decision(Verdict.DROP_BAD_MAC)
+        if self.verify_macs:
+            if hop.expiry > record.info.timestamp + MAX_HOP_LIFETIME_S:
+                return self._drop_decision(Verdict.DROP_INFLATED_HOP)
+            if not hop.verify(self._key, record.info.timestamp):
+                return self._drop_decision(Verdict.DROP_BAD_MAC)
         ingress, egress = record.oriented()
         if (
             arrival_ifid is not None
@@ -187,6 +229,8 @@ class BorderRouter:
 
     def _drop_decision(self, verdict: Verdict, egress_ifid: int = 0) -> RouterDecision:
         self._drop_counters[verdict].inc()
+        if verdict in _TAMPER_VERDICTS:
+            self.security_tampered.inc()
         return RouterDecision(verdict, egress_ifid=egress_ifid)
 
     # -- local interface state ---------------------------------------------------

@@ -386,6 +386,7 @@ class ScionNetwork:
         refresh: bool = False,
         now: Optional[float] = None,
         deadline_s: Optional[float] = None,
+        priority: int = 1,
     ) -> List[PathMeta]:
         """All control-plane paths from ``src`` to ``dst`` with metadata.
 
@@ -394,6 +395,8 @@ class ScionNetwork:
         deadline-carrying lookups bypass the combination memo — admission
         must see every request, and an overloaded server may refuse this
         one (:exc:`~repro.core.overload.OverloadRejected` propagates).
+        ``priority`` orders shedding at the guard; critical traffic
+        (priority 0 by default) is never CoDel-shed.
         """
         # Any registry mutation (registration, revocation, quarantine
         # expiry) invalidates memoized combinations wholesale — a cached
@@ -408,7 +411,7 @@ class ScionNetwork:
             src_topo = self.topology.get(src)
             dst_topo = self.topology.get(dst)
             ups, cores, downs, _ = self.services[src].path_server.segments_for(
-                dst, now=now, deadline_s=deadline_s
+                dst, now=now, deadline_s=deadline_s, priority=priority
             )
             tel = self.telemetry
             if tel.enabled:

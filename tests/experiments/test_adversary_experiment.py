@@ -1,0 +1,90 @@
+"""The adversary experiment: the hardened/naive contrast that is the
+whole point of the red-team campaign, gated piecewise so CI pays one
+campaign per arm rather than the experiment twice.
+"""
+
+import pytest
+
+from repro.experiments.adversary import (
+    GOODPUT_FLOOR,
+    arm_digest,
+    build_arm,
+    run_adversarial_crucible,
+    run_attack_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def hardened():
+    arm = build_arm(True)
+    outcomes = run_attack_campaign(arm)
+    return arm, outcomes
+
+
+@pytest.fixture(scope="module")
+def naive():
+    arm = build_arm(False)
+    outcomes = run_attack_campaign(arm)
+    return arm, outcomes
+
+
+class TestHardenedArm:
+    def test_zero_successful_attacks(self, hardened):
+        arm, outcomes = hardened
+        assert outcomes
+        assert not [o for o in outcomes if o.succeeded]
+
+    def test_every_attack_detected(self, hardened):
+        arm, outcomes = hardened
+        assert all(o.detected for o in outcomes)
+
+    def test_goodput_retained_under_attack(self, hardened):
+        arm, _ = hardened
+        assert arm.baseline_goodput > 0
+        assert (
+            arm.attacked_goodput
+            >= GOODPUT_FLOOR * arm.baseline_goodput
+        )
+
+    def test_honest_critical_traffic_admitted(self, hardened):
+        arm, _ = hardened
+        assert arm.honest_admit_fraction >= GOODPUT_FLOOR
+
+    def test_attacks_attributed(self, hardened):
+        arm, _ = hardened
+        adversarial = [
+            e for e in arm.telemetry.events.events
+            if e.source == "adversary"
+        ]
+        assert len(adversarial) == len(arm.adversary.outcomes)
+
+
+class TestNaiveArm:
+    def test_same_stream_compromises_naive_stack(self, hardened, naive):
+        _, hardened_outcomes = hardened
+        arm, outcomes = naive
+        assert len(outcomes) == len(hardened_outcomes)
+        assert sum(1 for o in outcomes if o.succeeded) > 0
+
+    def test_goodput_collapses(self, hardened, naive):
+        arm, _ = naive
+        # Accepted forged revocations quarantine the core interfaces the
+        # honest paths cross.
+        assert arm.attacked_goodput < arm.baseline_goodput
+
+
+class TestDeterminism:
+    def test_arm_digest_stable(self, hardened):
+        arm, _ = hardened
+        rebuilt = build_arm(True)
+        run_attack_campaign(rebuilt)
+        assert arm_digest(rebuilt) == arm_digest(arm)
+
+
+class TestAdversarialCrucibleSlice:
+    def test_slice_is_all_green(self):
+        results = run_adversarial_crucible(fast=True)
+        for result in results:
+            assert result.ok, (
+                result.schedule.seed, result.violated_names()
+            )
