@@ -20,6 +20,12 @@ cross-machine comparisons (e.g. a developer box against the committed
 runner-class snapshot), where wall-clock deltas are dominated by
 hardware, not code.
 
+The comparison also diffs the recorded ``p99_s`` per metric (schema
+field present since schema 1): a tail-latency growth beyond the gate
+threshold is reported as a warn-only ``note: p99 ...`` line, never a
+failure — log-bucket quantiles are ~5% quantized, too coarse for a hard
+gate but plenty to flag a tail regression for human eyes.
+
 Snapshot schema (``schema`` bumps on incompatible change)::
 
     {
@@ -129,6 +135,12 @@ def compare(
     * ``*_baseline`` metrics — they time the deliberately *uncached* old
       code path (the speedup denominator), which is not part of the
       trajectory being protected.
+
+    Tail latency is diffed too, warn-only: a ``p99_s`` growth beyond
+    ``max_regression`` produces a ``note: p99 ...`` line.  The p99 comes
+    from the log-bucket obs histogram (bucket width ~5%), so it is noisier
+    than the mean-derived ``ops_per_sec`` — it flags tail trouble for a
+    human without letting bucket quantization fail the gate.
     """
     failures: List[str] = []
     prev_metrics = previous.get("metrics", {})
@@ -154,6 +166,15 @@ def compare(
                 failures.append(f"note: baseline drift {line}")
             else:
                 failures.append(f"REGRESSION {line}")
+        prev_p99 = prev_metrics[key].get("p99_s", 0.0)
+        curr_p99 = curr_metrics[key].get("p99_s", 0.0)
+        if prev_p99 > 0 and curr_p99 > 0:
+            p99_change = (curr_p99 - prev_p99) / prev_p99
+            if p99_change > max_regression:
+                failures.append(
+                    f"note: p99 {key}: {prev_p99:.3g}s -> {curr_p99:.3g}s "
+                    f"({p99_change:+.1%}, warn-only)"
+                )
     return failures
 
 

@@ -305,6 +305,9 @@ class Supervisor:
         rec.recovered_at = None
         rec.crashes += 1
         self.stats.crashes += 1
+        flight = self._telemetry.flight
+        if flight is not None:
+            flight.trigger(now, "supervisor", "service-crash", name)
         if rec.kind == "control":
             engine = self.network.beaconing
             if engine is not None:
@@ -324,10 +327,15 @@ class Supervisor:
     def tick(self, now: float) -> None:
         """One health-check pass: detect, restart, promote, renew."""
         self.stats.health_checks += 1
+        flight = self._telemetry.flight
         for rec in sorted(self._records.values(), key=lambda r: r.name):
             if rec.state is ServiceState.DOWN and rec.detected_at is None:
                 rec.detected_at = now
                 rec.restart_at = now + self._restart_backoff_s(rec)
+                if flight is not None:
+                    flight.trigger(
+                        now, "supervisor", "crash-detected", rec.name
+                    )
             if (
                 rec.state is ServiceState.DOWN
                 and rec.restart_at is not None

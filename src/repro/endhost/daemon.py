@@ -183,6 +183,14 @@ class Daemon:
         ) as span:
             paths = self._lookup(dst, now, deadline_s)
             span.attrs["paths"] = str(len(paths))
+            series = tel.path_series
+            if series is not None:
+                # Per-pair churn: the recorder diffs this set against the
+                # previous lookup's (SCIONLab path-dynamics telemetry).
+                series.record_selection(
+                    now, str(self.ia), str(dst),
+                    [meta.fingerprint for meta in paths],
+                )
             return paths
 
     def _do_fetch(
@@ -329,6 +337,12 @@ class Daemon:
                     severity="critical",
                 )
             return
+        series = self.telemetry.path_series
+        if series is not None:
+            series.record_revocation(
+                now, revocation.key, src=str(self.ia),
+                detail="accepted at daemon",
+            )
         self._mark_down(revocation.key, revocation.expires_at())
         self._evict_paths_over(revocation.key)
         if self.propagate_revocations:

@@ -405,6 +405,16 @@ class ScionSocket:
                 failure=probe.failure,
                 failed_at="" if probe.failed_at is None else str(probe.failed_at),
             )
+        series = tel.path_series
+        if series is not None:
+            # ScionPathML-style per-path sample: RTT on delivery, the
+            # failure class on loss (loss is a data point, not a gap).
+            series.record_probe(
+                now or network.timestamp,
+                str(self.local_address.ia), str(dst.ia),
+                meta.fingerprint, probe.rtt_s, probe.success,
+                failure=probe.failure,
+            )
         if not probe.success:
             if report_scmp:
                 self._report_probe_failure(probe, now)

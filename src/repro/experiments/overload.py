@@ -154,6 +154,8 @@ def _run_storm(
     seed: int,
     injector: Optional[FaultInjector] = None,
     telemetry=None,
+    slo=None,
+    slo_interval_s: float = 0.25,
 ) -> StackOutcome:
     """Drive the real path server through one storm with one stack.
 
@@ -201,9 +203,18 @@ def _run_storm(
 
     admitted_latencies: List[float] = []
     health_at = (surge_start_s + surge_end_s) / 2.0
+    # Optional SLO burn-rate engine, sampled on a fixed sim-time cadence
+    # as the request clock advances (requests pop in time order, so the
+    # sample stream is deterministic).  ``slo=None`` — the default, and
+    # the configuration of every pinned run — skips all of it.
+    next_sample_s = slo_interval_s
 
     while heap:
         t, _, attempt, priority = heapq.heappop(heap)
+        if slo is not None:
+            while next_sample_s <= min(t, duration_s):
+                slo.sample(next_sample_s)
+                next_sample_s += slo_interval_s
         if t >= duration_s:
             continue
         if attempt == 0 and budget is not None:
@@ -260,6 +271,13 @@ def _run_storm(
                 )
                 seq += 1
                 out.retries_sent += 1
+
+    if slo is not None:
+        # Drain the sample clock to the end of the run so burn-clear
+        # events fire once the storm subsides.
+        while next_sample_s <= duration_s:
+            slo.sample(next_sample_s)
+            next_sample_s += slo_interval_s
 
     # -- goodput analysis ------------------------------------------------------
     pre = out.bins[: int(surge_start_s)]
@@ -467,6 +485,64 @@ def telemetry_snapshot(seed: int = 17) -> Dict[str, object]:
         "metrics_json": tel.metrics.to_json(),
         "health_status": outcome.health_status,
         "overloaded_services": outcome.overloaded_services,
+    }
+
+
+def slo_snapshot(seed: int = 17) -> Dict[str, object]:
+    """The naive arm under a surge, watched by an SLO burn-rate engine.
+
+    Runs the NAIVE stack (unbounded queue, retries) through the storm with
+    a live telemetry bundle and a latency SLO over the path server's
+    lookup-latency histogram (objective: 95% of lookups within the client
+    deadline).  During the surge the queue blows far past the deadline, so
+    the multi-window burn-rate engine fires at least one page-severity
+    ``slo-burn-rate`` event into the EventLog — and, because the naive
+    stack is metastable, the alert never clears even after the surge ends:
+    the pager tells the same story as the goodput plot.  Pure reader: the
+    SLO engine only samples metrics, so
+    the outcome (and the pinned ``run_storms`` digest, which never passes
+    ``slo=``) is untouched.
+    """
+    from repro.obs import Slo, SloEngine, Telemetry
+
+    tel = Telemetry()
+    network = ScionNetwork(_topology(), seed=seed, telemetry=tel)
+    network.services[A].path_server.segments_for(B, now=0.0)
+    engine = SloEngine(
+        metrics=tel.metrics,
+        slos=(
+            Slo(
+                name="lookup-latency",
+                objective=0.95,
+                kind="latency",
+                metric="pathserver_lookup_latency_seconds",
+                threshold=DEADLINE_S,
+            ),
+        ),
+        events=tel.events,
+    )
+    outcome = _run_storm(
+        network, protected=False, duration_s=6.0,
+        surge_start_s=1.0, surge_end_s=4.0, seed=seed, telemetry=tel,
+        slo=engine,
+    )
+    alerts = [
+        event for event in tel.events.timeline(source="slo")
+        if event.kind == "slo-burn-rate"
+    ]
+    clears = [
+        event for event in tel.events.timeline(source="slo")
+        if event.kind == "slo-burn-clear"
+    ]
+    return {
+        "outcome": outcome,
+        "alerts": alerts,
+        "clears": clears,
+        "alert_lines": [
+            f"{event.time_s:7.2f}s {event.target}: {event.detail}"
+            for event in alerts
+        ],
+        "status": engine.status(),
     }
 
 

@@ -67,6 +67,8 @@ EXPERIMENTS: Dict[str, Tuple[str, str]] = {
                  "Deterministic simulation testing (fuzzed fault schedules)"),
     "adversary": ("repro.experiments.adversary",
                   "Byzantine red-team campaign (hardened vs naive stack)"),
+    "obs_slice": ("repro.experiments.obs_slice",
+                  "Profiled chaos slice (flight recorder + profiler + SLOs)"),
 }
 
 

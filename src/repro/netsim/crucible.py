@@ -59,7 +59,7 @@ from repro.netsim.adversary import ByzantineAdversary
 from repro.netsim.chaos import FaultInjector, FaultProfile, LoadSurge
 from repro.netsim.invariants import InvariantChecker, Violation
 from repro.netsim.simulator import Simulator
-from repro.obs import Telemetry
+from repro.obs import FlightRecorder, Profiler, Slo, SloEngine, Telemetry
 from repro.scion.addr import IA
 from repro.scion.network import ScionNetwork
 from repro.scion.topology import (
@@ -375,7 +375,14 @@ class CrucibleWorld:
 
     goodput_floor = 0.9
 
-    def __init__(self, schedule: Schedule, bug: Optional[str] = None):
+    def __init__(
+        self,
+        schedule: Schedule,
+        bug: Optional[str] = None,
+        flight: Optional[FlightRecorder] = None,
+        profiler: Optional[Profiler] = None,
+        slos: Optional[Tuple[Slo, ...]] = None,
+    ):
         builder = TOPOLOGIES.get(schedule.topology)
         if builder is None:
             raise CrucibleError(
@@ -385,6 +392,24 @@ class CrucibleWorld:
         self.schedule = schedule
         self.bug = bug
         self.telemetry = Telemetry()
+        # Opt-in observability: with all three absent (the default, and
+        # the configuration every pinned digest is computed with) the
+        # world behaves byte-identically to a bare one — the hooks cost
+        # None checks and consume no randomness.
+        self.flight = flight.attach(self.telemetry) if flight is not None \
+            else None
+        if profiler is not None:
+            self.telemetry.profiler = profiler
+        self.slo: Optional[SloEngine] = None
+        if slos is not None:
+            self.slo = SloEngine(
+                metrics=self.telemetry.metrics, slos=slos,
+                events=self.telemetry.events,
+            )
+            self._goodput_gauge = self.telemetry.metrics.gauge(
+                "crucible_goodput_fraction",
+                "Fraction of workload pairs with a working path.",
+            )
         topology = builder(schedule.seed)
         self.network = ScionNetwork(
             topology,
@@ -397,6 +422,8 @@ class CrucibleWorld:
         # arithmetic instead of recovery.
         self.network.dataplane.revocation_ttl_s = REVOCATION_TTL_S
         self.sim = Simulator(start_time=float(self.network.timestamp))
+        if profiler is not None:
+            self.sim.profiler = profiler
         self.injector = FaultInjector(
             seed=schedule.seed ^ 0xC47C1B1E, event_log=self.telemetry.events
         )
@@ -563,6 +590,15 @@ class CrucibleWorld:
         self.supervisor.lookup(src, dst, now)
         checker.check_always(self, now)
         self.served.clear()
+        # Second-tier observability, all opt-in: the SLO engine samples
+        # its objectives (goodput is measured once more for the gauge —
+        # path lookups are deterministic, so the extra reads change no
+        # digest), and the flight recorder diffs the metric registry.
+        if self.slo is not None:
+            self._goodput_gauge.set(self.measure_goodput(now))
+            self.slo.sample(now)
+        if self.flight is not None:
+            self.flight.tick(now)
 
     def stop(self) -> None:
         for monitor in self.monitors:
@@ -753,6 +789,9 @@ class RunResult:
     fault_events: int
     checks_run: int
     bug: Optional[str] = None
+    #: The flight recorder's black box, dumped when a run with an
+    #: attached recorder ends in violation (None otherwise).
+    flight_artifact: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -765,19 +804,53 @@ class RunResult:
         return list(seen)
 
 
+def default_crucible_slos() -> Tuple[Slo, ...]:
+    """The crucible's service levels, over instruments the world already
+    exports: daemon lookup availability (failed fetches burn budget),
+    path-server lookup p-latency, and the workload goodput floor."""
+    return (
+        Slo(
+            name="lookup-availability", objective=0.99, kind="ratio",
+            metric="daemon_lookups_total",
+            bad_metric="daemon_failed_fetches_total",
+        ),
+        Slo(
+            name="lookup-latency", objective=0.95, kind="latency",
+            metric="pathserver_lookup_latency_seconds", threshold=0.050,
+        ),
+        Slo(
+            name="goodput-floor", objective=0.9, kind="gauge",
+            metric="crucible_goodput_fraction",
+            threshold=CrucibleWorld.goodput_floor,
+        ),
+    )
+
+
 def run_schedule(
     schedule: Schedule,
     bug: Optional[str] = None,
     checker: Optional[InvariantChecker] = None,
+    flight: Optional[FlightRecorder] = None,
+    profiler: Optional[Profiler] = None,
+    slos: Optional[Tuple[Slo, ...]] = None,
 ) -> RunResult:
     """Build a fresh world from the schedule and run it to completion.
 
     The fresh world is what makes replay exact: nothing leaks between
     runs, so two calls with equal ``(schedule, bug)`` produce the same
     violations and the same ``fault_digest``.
+
+    ``flight``, ``profiler``, and ``slos`` attach the opt-in second-tier
+    observability (crash flight recorder, continuous profiler, SLO
+    burn-rate engine).  None of them consume randomness or perturb the
+    event schedule, so the fault digest is unchanged either way; when a
+    recorder is attached and the run ends in violation, the black box is
+    dumped into ``RunResult.flight_artifact``.
     """
     checker = checker if checker is not None else InvariantChecker()
-    world = CrucibleWorld(schedule, bug=bug)
+    world = CrucibleWorld(
+        schedule, bug=bug, flight=flight, profiler=profiler, slos=slos
+    )
     sim = world.sim
     t0 = sim.now
     end = t0 + schedule.duration_s + schedule.settle_s
@@ -796,14 +869,33 @@ def run_schedule(
     sim.run(until=end)
     world.stop()
     checker.check_eventually(world, sim.now)
+    violations = list(checker.violations)
+    flight_artifact = None
+    if world.flight is not None and violations:
+        for violation in violations:
+            world.flight.trigger(
+                violation.time_s, "invariant", violation.invariant,
+                violation.detail,
+            )
+        flight_artifact = world.flight.dump(
+            reason="invariant-violation",
+            now=sim.now,
+            context={
+                "schedule_digest": schedule.digest(),
+                "bug": bug,
+                "violated": [v.invariant for v in violations],
+                "fault_digest": world.injector.event_digest(),
+            },
+        )
     return RunResult(
         schedule=schedule,
-        violations=list(checker.violations),
+        violations=violations,
         scoreboard=checker.scoreboard(),
         fault_digest=world.injector.event_digest(),
         fault_events=len(world.injector.events),
         checks_run=checker.checks_run,
         bug=bug,
+        flight_artifact=flight_artifact,
     )
 
 

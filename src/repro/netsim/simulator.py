@@ -92,6 +92,10 @@ class Simulator:
         self._seq = itertools.count()
         self._events_processed = 0
         self._live = 0  # scheduled, not yet fired, not cancelled
+        #: Opt-in :class:`repro.obs.profile.Profiler`.  ``run`` binds it
+        #: once per call, so attaching one takes effect at the next
+        #: ``run``; with it None the hot loop is exactly the old loop.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -196,6 +200,7 @@ class Simulator:
         """
         processed = 0
         heap = self._heap
+        profiler = self.profiler
         while heap:
             when, _, timer = heap[0]
             if until is not None and when > until:
@@ -208,7 +213,10 @@ class Simulator:
             timer._sim = None
             self._live -= 1
             self._now = when
-            timer._fire()
+            if profiler is None:
+                timer._fire()
+            else:
+                profiler.fire_timer(timer, when)
             self._events_processed += 1
             processed += 1
         if until is not None and until > self._now and not self._runnable_before(until):

@@ -27,6 +27,7 @@ from repro.obs.bridge import (
     reset_stats,
 )
 from repro.obs.events import Event, EventLog, NullEventLog
+from repro.obs.flight import FlightRecorder, flight_digest, save_flight
 from repro.obs.health import HealthReport, build_health_report
 from repro.obs.metrics import (
     EXPORT_QUANTILES,
@@ -36,11 +37,21 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.pathseries import PathSample, PathSeriesRecorder
+from repro.obs.profile import Profiler
+from repro.obs.slo import BurnWindow, Slo, SloEngine
 from repro.obs.trace import NullTracer, Span, Tracer, validate_trace
 
 
 class Telemetry:
-    """The bundle handed to every instrumented component."""
+    """The bundle handed to every instrumented component.
+
+    The second-tier instruments — :class:`Profiler`,
+    :class:`FlightRecorder`, :class:`PathSeriesRecorder` — are opt-in
+    attachments, ``None`` by default: hot paths test them with a single
+    attribute load and a None check, and every pinned seeded digest is
+    computed with them absent.
+    """
 
     enabled = True
 
@@ -53,6 +64,12 @@ class Telemetry:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.events = events if events is not None else EventLog()
+        #: Opt-in continuous profiler (see :mod:`repro.obs.profile`).
+        self.profiler: Optional[Profiler] = None
+        #: Opt-in crash flight recorder (see :mod:`repro.obs.flight`).
+        self.flight: Optional[FlightRecorder] = None
+        #: Opt-in per-path time-series recorder (:mod:`repro.obs.pathseries`).
+        self.path_series: Optional[PathSeriesRecorder] = None
 
     def reset(self) -> None:
         """Zero metrics and drop traces/events (fresh experiment epoch)."""
@@ -82,11 +99,13 @@ def resolve(telemetry: Optional[Telemetry]) -> Telemetry:
 
 
 __all__ = [
+    "BurnWindow",
     "Counter",
     "CounterBackedStats",
     "EXPORT_QUANTILES",
     "Event",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "HealthReport",
     "Histogram",
@@ -95,12 +114,19 @@ __all__ = [
     "NullEventLog",
     "NullRegistry",
     "NullTracer",
+    "PathSample",
+    "PathSeriesRecorder",
+    "Profiler",
+    "Slo",
+    "SloEngine",
     "Span",
     "Telemetry",
     "Tracer",
     "build_health_report",
+    "flight_digest",
     "register_stats_collector",
     "reset_stats",
     "resolve",
+    "save_flight",
     "validate_trace",
 ]

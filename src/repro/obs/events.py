@@ -55,6 +55,10 @@ class EventLog:
         #: :meth:`down_pairs` reports the direction the alert arrived in.
         self._down_display: Dict[Tuple[str, str], Tuple[str, str]] = {}
         self.suppressed_alerts = 0
+        #: Optional subscription hook, called with every recorded event.
+        #: The flight recorder hangs its ring buffer here; with nothing
+        #: attached the cost is one None check per record.
+        self.on_record: Optional[Callable[[Event], None]] = None
 
     # -- recording ---------------------------------------------------------------
 
@@ -65,6 +69,8 @@ class EventLog:
             detail=detail, severity=severity, seq=len(self.events),
         )
         self.events.append(event)
+        if self.on_record is not None:
+            self.on_record(event)
         return event
 
     def record_alert(self, alert) -> Optional[Event]:

@@ -43,6 +43,9 @@ class HealthReport:
     #: status tier: the service is up and degrading gracefully, which an
     #: operator must read differently from DOWN.
     overloaded_services: Dict[str, float] = field(default_factory=dict)
+    #: Currently firing SLO burn-rate alerts (rendered descriptions from
+    #: :class:`repro.obs.slo.SloEngine`); empty when no engine is wired.
+    slo_alerts: List[str] = field(default_factory=list)
 
     @property
     def healthy(self) -> bool:
@@ -123,6 +126,10 @@ class HealthReport:
             for name in sorted(self.overloaded_services):
                 delay = self.overloaded_services[name]
                 lines.append(f"  {name}: queue delay {delay * 1000:.1f} ms")
+        if self.slo_alerts:
+            lines.append(f"SLO burn-rate alerts ({len(self.slo_alerts)}):")
+            for description in self.slo_alerts:
+                lines.append(f"  {description}")
         if self.suppressed_alerts:
             lines.append(f"suppressed duplicate alerts: {self.suppressed_alerts}")
         if self.events_by_severity:
@@ -151,6 +158,7 @@ class HealthReport:
             "unreachable_from_monitor": self.unreachable_from_monitor,
             "suppressed_alerts": self.suppressed_alerts,
             "events_by_severity": self.events_by_severity,
+            "slo_alerts": self.slo_alerts,
         }
         return json.dumps(doc, sort_keys=True)
 
@@ -162,6 +170,7 @@ def build_health_report(
     monitor=None,
     events=None,
     guards=None,
+    slo=None,
 ) -> HealthReport:
     """Assemble a :class:`HealthReport` without mutating any component.
 
@@ -171,6 +180,9 @@ def build_health_report(
     :class:`~repro.core.overload.OverloadGuard`; guards past their healthy
     operating point at ``now`` surface as OVERLOADED (a tier *below*
     DEGRADED/DOWN — the service answers, just late or selectively).
+    ``slo`` is an optional :class:`~repro.obs.slo.SloEngine`; its
+    currently firing burn-rate alerts annotate the report (reading them
+    does not advance the engine — evaluation happens only in ``sample``).
     """
     report = HealthReport(generated_at_s=now)
 
@@ -207,6 +219,8 @@ def build_health_report(
             guard = guards[name]
             if guard.overloaded(now):
                 report.overloaded_services[name] = guard.queue_delay_s(now)
+    if slo is not None:
+        report.slo_alerts = slo.describe_alerts()
     if events is not None:
         report.suppressed_alerts = events.suppressed_alerts
         severities: Dict[str, int] = {}

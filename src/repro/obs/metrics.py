@@ -181,13 +181,29 @@ EXPORT_QUANTILES = (0.5, 0.95, 0.99)
 class _Family:
     """One metric family: a name, a type, and labelled children."""
 
-    __slots__ = ("name", "help", "kind", "children")
+    __slots__ = ("name", "help", "kind", "children", "overflowed")
 
     def __init__(self, name: str, help_text: str, kind: str):
         self.name = name
         self.help = help_text
         self.kind = kind
         self.children: Dict[LabelKey, object] = {}
+        #: get-or-create requests collapsed into the overflow child after
+        #: the family hit the registry's cardinality cap.
+        self.overflowed = 0
+
+
+#: Reserved label set for the per-family overflow child (see
+#: ``MetricsRegistry.max_children_per_family``).
+OVERFLOW_LABELS = {"overflow": "true"}
+_OVERFLOW_KEY = _label_key(OVERFLOW_LABELS)
+
+#: Default cardinality cap per family.  High enough that no current
+#: experiment comes near it (the largest labelled families are per-AS at
+#: tens-to-hundreds of children), low enough that a per-path label leak
+#: at 5000 ASes cannot eat the registry: past the cap, new label sets
+#: share one ``{overflow="true"}`` child.
+DEFAULT_MAX_CHILDREN_PER_FAMILY = 1024
 
 
 class MetricsRegistry:
@@ -199,9 +215,18 @@ class MetricsRegistry:
     Prometheus client-library "custom collector" pattern).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        max_children_per_family: int = DEFAULT_MAX_CHILDREN_PER_FAMILY,
+    ) -> None:
         self._families: Dict[str, _Family] = {}
         self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        #: Cardinality cap: once a family holds this many labelled
+        #: children, further *new* label sets collapse into one shared
+        #: ``{overflow="true"}`` child (so the aggregate keeps counting
+        #: while the label explosion stops).  Existing children keep
+        #: working — the cap only gates creation.
+        self.max_children_per_family = max(1, int(max_children_per_family))
 
     # -- instruments ------------------------------------------------------------
 
@@ -218,6 +243,19 @@ class MetricsRegistry:
         key = _label_key(labels)
         child = family.children.get(key)
         if child is None:
+            if (
+                len(family.children) >= self.max_children_per_family
+                and key != _OVERFLOW_KEY
+            ):
+                # Cardinality cap: collapse this new label set into the
+                # overflow child (created on first overflow — it may sit
+                # one past the cap so capped families stay observable).
+                family.overflowed += 1
+                child = family.children.get(_OVERFLOW_KEY)
+                if child is None:
+                    child = factory(name, dict(OVERFLOW_LABELS))
+                    family.children[_OVERFLOW_KEY] = child
+                return child
             child = factory(name, labels)
             family.children[key] = child
         return child

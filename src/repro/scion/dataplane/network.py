@@ -174,7 +174,27 @@ class ScionDataplane:
         per-iteration state is two scalars, and instance attributes are
         bound to locals once — the loop allocates nothing until the final
         :class:`ProbeResult`.
+
+        With a :class:`~repro.obs.profile.Profiler` attached to the
+        telemetry bundle, each walk is attributed under a
+        ``dataplane;ScionDataplane.walk;<outcome>`` frame with its
+        modeled one-way delay as sim time; without one, the wrapper costs
+        one attribute load and a None check.
         """
+        profiler = self._telemetry.profiler
+        if profiler is None:
+            return self._walk(path, now)
+        token = profiler.start()
+        result = self._walk(path, now)
+        profiler.finish(
+            token,
+            ("dataplane", "ScionDataplane.walk",
+             result.failure or "delivered"),
+            sim_s=result.one_way_s,
+        )
+        return result
+
+    def _walk(self, path: DataplanePath, now: float) -> ProbeResult:
         records = path.forwarding_plan()
         if not records:
             return ProbeResult(False, failure="empty-path")

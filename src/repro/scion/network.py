@@ -597,10 +597,17 @@ class ScionNetwork:
         numbers call this between epochs (or construct fresh components;
         both are equivalent).  Telemetry-backed counters are zeroed in the
         shared registry, so exported series restart from zero too.
+
+        An attached profiler is segmented at the same boundary
+        (``mark_epoch``), so per-``run_beaconing``-epoch hot-path tables
+        are not polluted by attribution from earlier epochs.
         """
         self.registry.stats.reset()
         for router in self.dataplane.routers.values():
             router.stats.reset()
+        profiler = self.telemetry.profiler
+        if profiler is not None:
+            profiler.mark_epoch()
 
     def set_link_state(self, link_name: str, up: bool) -> None:
         try:

@@ -26,7 +26,7 @@ class TestRegistry:
             "table1", "table2", "fig3", "fig4", "sec52", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig10c", "sec56",
             "dispatcher", "chaos", "control_chaos", "revocation_storm",
-            "overload", "crucible", "adversary",
+            "overload", "crucible", "adversary", "obs_slice",
         }
 
     def test_unknown_experiment_rejected(self):

@@ -110,3 +110,49 @@ class TestTelemetrySnapshot:
             assert family in prom, family
         assert snap["health_status"] == "OVERLOADED"
         assert snap["overloaded_services"]
+
+
+class TestSloSnapshot:
+    """The SLO burn-rate engine watching the naive arm (acceptance
+    criterion: >= 1 burn-rate alert in the EventLog during the storm)."""
+
+    @pytest.fixture(scope="class")
+    def slo_snap(self):
+        from repro.experiments.overload import slo_snapshot
+
+        return slo_snapshot(seed=17)
+
+    def test_burn_rate_alert_fires_during_naive_storm(self, slo_snap):
+        assert len(slo_snap["alerts"]) >= 1
+        alert = slo_snap["alerts"][0]
+        assert alert.kind == "slo-burn-rate"
+        assert alert.source == "slo"
+        assert "lookup-latency" in alert.target
+
+    def test_metastable_alert_never_clears(self, slo_snap):
+        """The naive stack never recovers after the surge, and neither
+        does the pager: no burn-clear events by the end of the run."""
+        assert slo_snap["clears"] == []
+        assert slo_snap["status"]["active"]
+
+    def test_alert_stream_deterministic_across_runs(self, slo_snap):
+        from repro.experiments.overload import slo_snapshot
+
+        again = slo_snapshot(seed=17)
+
+        def stream(snap):
+            return [
+                (e.time_s, e.kind, e.target, e.detail, e.severity)
+                for e in snap["alerts"] + snap["clears"]
+            ]
+
+        assert stream(again) == stream(slo_snap)
+
+    def test_slo_sampling_leaves_pinned_digest_unchanged(self, storms):
+        """``slo_snapshot`` drives ``_run_storm`` with an engine attached;
+        the pinned ``run_storms`` digest (which never does) must not move."""
+        from repro.experiments.overload import slo_snapshot
+
+        slo_snapshot(seed=17)
+        again = run_storms(fast=True)
+        assert again["digest"] == storms["digest"]

@@ -165,3 +165,75 @@ class TestNullRegistry:
         n.histogram("h").observe(3.0)
         n.gauge("g").set(5.0)
         assert n.prometheus_text() == ""
+
+
+class TestCardinalityCap:
+    """Regression tests at the cap boundary: a per-path label leak at
+    5000 ASes must collapse into one overflow child, not eat the
+    registry."""
+
+    def test_children_below_cap_unaffected(self):
+        m = MetricsRegistry(max_children_per_family=4)
+        for i in range(4):
+            m.counter("req_total", labels={"as": f"71-{i}"}).inc()
+        family = m._families["req_total"]
+        assert len(family.children) == 4
+        assert family.overflowed == 0
+        assert 'overflow="true"' not in m.prometheus_text()
+
+    def test_boundary_new_label_set_collapses_into_overflow(self):
+        m = MetricsRegistry(max_children_per_family=4)
+        for i in range(4):
+            m.counter("req_total", labels={"as": f"71-{i}"}).inc()
+        # The 5th distinct label set lands in the overflow child.
+        spilled = m.counter("req_total", labels={"as": "71-999"})
+        spilled.inc(3)
+        family = m._families["req_total"]
+        assert family.overflowed == 1
+        text = m.prometheus_text()
+        assert 'req_total{overflow="true"} 3' in text
+
+    def test_existing_children_still_writable_past_cap(self):
+        m = MetricsRegistry(max_children_per_family=2)
+        first = m.counter("req_total", labels={"as": "a"})
+        m.counter("req_total", labels={"as": "b"})
+        m.counter("req_total", labels={"as": "c"}).inc()  # overflowed
+        again = m.counter("req_total", labels={"as": "a"})
+        assert again is first                 # cap gates creation only
+        again.inc(2)
+        assert first.value == 2
+
+    def test_overflow_child_shared_and_counted(self):
+        m = MetricsRegistry(max_children_per_family=1)
+        m.counter("req_total", labels={"as": "a"}).inc()
+        one = m.counter("req_total", labels={"as": "b"})
+        two = m.counter("req_total", labels={"as": "c"})
+        assert one is two
+        one.inc()
+        two.inc()
+        family = m._families["req_total"]
+        assert family.overflowed == 2
+        assert family.children[
+            (("overflow", "true"),)
+        ].value == 2
+
+    def test_histograms_capped_too(self):
+        m = MetricsRegistry(max_children_per_family=1)
+        m.histogram("lat_seconds", labels={"as": "a"}).observe(0.1)
+        spill = m.histogram("lat_seconds", labels={"as": "b"})
+        spill.observe(0.2)
+        text = m.prometheus_text()
+        assert 'lat_seconds_count{overflow="true"} 1' in text
+
+    def test_default_cap_is_generous(self):
+        m = MetricsRegistry()
+        assert m.max_children_per_family == 1024
+
+    def test_export_deterministic_with_overflow(self):
+        def build():
+            m = MetricsRegistry(max_children_per_family=2)
+            for i in range(5):
+                m.counter("req_total", labels={"as": f"71-{i}"}).inc()
+            return m.prometheus_text()
+
+        assert build() == build()

@@ -1,0 +1,264 @@
+"""Tests for SLO objectives and the multi-window burn-rate engine.
+
+The hypothesis property at the bottom is the load-bearing one: for a
+random request stream, the engine's firing decisions must agree with an
+independent reference implementation of the error-budget math (burn =
+window bad-fraction / budget, fire iff BOTH windows exceed the
+threshold).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    BurnWindow,
+    EventLog,
+    MetricsRegistry,
+    Slo,
+    SloEngine,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.slo import DEFAULT_WINDOWS, histogram_count_le
+
+
+def _ratio_engine(windows=DEFAULT_WINDOWS, events=None):
+    metrics = MetricsRegistry()
+    total = metrics.counter("requests_total")
+    bad = metrics.counter("requests_failed_total")
+    slo = Slo(name="availability", objective=0.99, kind="ratio",
+              metric="requests_total", bad_metric="requests_failed_total")
+    engine = SloEngine(metrics, (slo,), windows=windows, events=events)
+    return engine, total, bad
+
+
+class TestSloValidation:
+    def test_objective_bounds(self):
+        with pytest.raises(ValueError, match="objective"):
+            Slo("x", 1.0, "ratio", "a_total", bad_metric="b_total")
+        with pytest.raises(ValueError, match="objective"):
+            Slo("x", 0.0, "ratio", "a_total", bad_metric="b_total")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            Slo("x", 0.9, "pancake", "a_total")
+
+    def test_ratio_needs_bad_metric(self):
+        with pytest.raises(ValueError, match="bad_metric"):
+            Slo("x", 0.9, "ratio", "a_total")
+
+    def test_error_budget(self):
+        slo = Slo("x", 0.99, "gauge", "g", threshold=1.0)
+        assert abs(slo.error_budget - 0.01) < 1e-12
+
+
+class TestBurnMath:
+    def test_all_good_no_burn(self):
+        engine, total, _ = _ratio_engine()
+        for t in range(10):
+            total.inc(100)
+            assert engine.sample(float(t)) == []
+        assert engine.active_alerts() == []
+
+    def test_total_outage_burns_at_inverse_budget(self):
+        """100% failures with a 1% budget is a 100x burn — both default
+        windows fire on the same sample."""
+        engine, total, bad = _ratio_engine()
+        started = []
+        for t in range(1, 6):
+            total.inc(100)
+            bad.inc(100)
+            started += engine.sample(float(t))
+        labels = {(a.slo, a.window) for a in engine.active_alerts()}
+        assert labels == {("availability", "4s/1s"),
+                          ("availability", "12s/3s")}
+        assert all(abs(a.burn_long - 100.0) < 1e-6 for a in started)
+
+    def test_fire_requires_both_windows(self):
+        """Old damage alone (long window) must not page once the short
+        window is healthy again — the 'still happening' condition."""
+        engine, total, bad = _ratio_engine(
+            windows=(BurnWindow(long_s=8.0, short_s=1.0,
+                                burn_threshold=5.0),),
+        )
+        # Outage for 2 samples, then fully healthy traffic.
+        for t in range(1, 3):
+            total.inc(100)
+            bad.inc(100)
+            engine.sample(float(t))
+        assert engine.active_alerts()        # firing during the outage
+        for t in range(3, 8):
+            total.inc(1000)
+            engine.sample(float(t))
+        # Long window still remembers the outage; short window is clean.
+        assert engine.active_alerts() == []
+
+    def test_edge_triggered_events_and_clear(self):
+        events = EventLog()
+        engine, total, bad = _ratio_engine(
+            windows=(BurnWindow(4.0, 1.0, 10.0, severity="critical"),),
+            events=events,
+        )
+        for t in range(1, 4):
+            total.inc(10)
+            bad.inc(10)
+            engine.sample(float(t))
+        for t in range(4, 12):
+            total.inc(1000)
+            engine.sample(float(t))
+        fired = [e for e in events.events if e.kind == "slo-burn-rate"]
+        cleared = [e for e in events.events if e.kind == "slo-burn-clear"]
+        assert len(fired) == 1               # deduplicated while firing
+        assert len(cleared) == 1
+        assert fired[0].severity == "critical"
+        assert fired[0].target == "availability[4s/1s]"
+        assert cleared[0].time_s > fired[0].time_s
+
+    def test_no_events_log_still_tracks_active(self):
+        engine, total, bad = _ratio_engine(events=None)
+        total.inc(10)
+        bad.inc(10)
+        engine.sample(1.0)
+        assert engine.describe_alerts()
+        assert engine.status()["active"]
+
+
+class TestLatencySlo:
+    def test_histogram_count_le_matches_observations(self):
+        hist = Histogram("lat_seconds")
+        for v in (0.001, 0.002, 0.010, 0.100, 0.200):
+            hist.observe(v)
+        assert histogram_count_le(hist, 0.050) == 3
+        assert histogram_count_le(hist, 1.0) == 5
+        assert histogram_count_le(hist, -1.0) == 0
+
+    def test_latency_burn_fires_on_slow_tail(self):
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("lookup_seconds", labels={"as": "71-100"})
+        slo = Slo("latency", 0.9, "latency", "lookup_seconds",
+                  threshold=0.050)
+        engine = SloEngine(metrics, (slo,))
+        for t in range(1, 6):
+            for _ in range(5):
+                hist.observe(0.500)          # every lookup blows the bound
+            engine.sample(float(t))
+        assert engine.active_alerts()
+
+    def test_latency_sums_label_children(self):
+        metrics = MetricsRegistry()
+        fast = metrics.histogram("lookup_seconds", labels={"as": "71-100"})
+        slow = metrics.histogram("lookup_seconds", labels={"as": "71-200"})
+        slo = Slo("latency", 0.9, "latency", "lookup_seconds",
+                  threshold=0.050)
+        engine = SloEngine(metrics, (slo,))
+        fast.observe(0.001)
+        slow.observe(9.0)
+        engine.sample(1.0)
+        good, total = engine._snapshot(slo)
+        assert (good, total) == (1.0, 2.0)
+
+
+class TestGaugeSlo:
+    def test_gauge_floor(self):
+        metrics = MetricsRegistry()
+        gauge = metrics.gauge("goodput_fraction")
+        slo = Slo("goodput", 0.5, "gauge", "goodput_fraction",
+                  threshold=0.9)
+        engine = SloEngine(
+            metrics, (slo,),
+            windows=(BurnWindow(4.0, 1.0, 1.5),),
+        )
+        gauge.set(1.0)
+        engine.sample(1.0)
+        assert engine.active_alerts() == []
+        for t in range(2, 6):
+            gauge.set(0.1)                   # below the floor: all bad
+            engine.sample(float(t))
+        assert engine.active_alerts()
+
+
+# -- the reference-model property ---------------------------------------------
+
+
+def _reference_burn(history, now, window_s, budget):
+    """Independent burn-rate: bad fraction across the trailing window,
+    divided by the error budget.  ``history`` is [(t, good, total), ...]
+    cumulative; the window baseline is the newest entry at or before the
+    cutoff (zeros when none — everything counts at startup)."""
+    good0 = total0 = 0.0
+    for t, good, total in history:
+        if t <= now - window_s:
+            good0, total0 = good, total
+    good1, total1 = history[-1][1], history[-1][2]
+    d_total = total1 - total0
+    if d_total <= 0:
+        return 0.0
+    return ((d_total - (good1 - good0)) / d_total) / budget
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 50)),
+        min_size=1, max_size=30,
+    )
+)
+def test_alerts_fire_iff_budget_math_says_so(stream):
+    """For any (good, bad) increment stream sampled at 1s cadence, the
+    engine's firing set equals the reference error-budget decision at
+    every step."""
+    window = BurnWindow(long_s=5.0, short_s=2.0, burn_threshold=3.0)
+    engine, total, bad = _ratio_engine(windows=(window,))
+    slo = engine.slos[0]
+    history = []
+    cumulative_good = cumulative_total = 0.0
+    for step, (good_inc, bad_inc) in enumerate(stream):
+        now = float(step + 1)
+        total.inc(good_inc + bad_inc)
+        bad.inc(bad_inc)
+        cumulative_good += good_inc
+        cumulative_total += good_inc + bad_inc
+        history.append((now, cumulative_good, cumulative_total))
+        engine.sample(now)
+        burn_long = _reference_burn(
+            history, now, window.long_s, slo.error_budget
+        )
+        burn_short = _reference_burn(
+            history, now, window.short_s, slo.error_budget
+        )
+        should_fire = (burn_long > window.burn_threshold
+                       and burn_short > window.burn_threshold)
+        is_firing = bool(engine.active_alerts())
+        assert is_firing == should_fire, (
+            f"step {step}: engine={is_firing} reference={should_fire} "
+            f"(burn {burn_long:.2f}/{burn_short:.2f})"
+        )
+
+
+class TestHealthAnnotation:
+    def test_health_report_carries_active_alerts(self):
+        from repro.obs import build_health_report
+        from repro.scion.network import ScionNetwork
+        from tests.conftest import make_diamond_topology
+
+        engine, total, bad = _ratio_engine()
+        total.inc(10)
+        bad.inc(10)
+        engine.sample(1.0)
+        network = ScionNetwork(make_diamond_topology(), seed=7)
+        report = build_health_report(network, now=1.0, slo=engine)
+        assert report.slo_alerts == engine.describe_alerts()
+        assert "SLO burn-rate alerts" in report.render()
+        assert json.loads(report.to_json())["slo_alerts"]
+
+    def test_health_report_without_engine_has_no_annotation(self):
+        from repro.obs import build_health_report
+        from repro.scion.network import ScionNetwork
+        from tests.conftest import make_diamond_topology
+
+        network = ScionNetwork(make_diamond_topology(), seed=7)
+        report = build_health_report(network, now=1.0)
+        assert report.slo_alerts == []
+        assert "SLO burn-rate" not in report.render()

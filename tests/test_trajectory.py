@@ -1,0 +1,87 @@
+"""Unit tests for the perf-trajectory comparison (benchmarks/trajectory.py):
+the ops/sec hard gate and the warn-only p99 tail diff."""
+
+import importlib.util
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "trajectory",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "trajectory.py",
+)
+trajectory = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(trajectory)
+
+
+def _snapshot(**metrics):
+    return {"name": "kernel", "schema": 1, "metrics": metrics}
+
+
+def _entry(ops, p99=1e-6):
+    return {"ops_per_sec": ops, "p50_s": p99 / 2, "p99_s": p99, "rounds": 10}
+
+
+class TestOpsGate:
+    def test_no_change_is_clean(self):
+        snap = _snapshot(walk=_entry(1000.0))
+        assert trajectory.compare(snap, snap) == []
+
+    def test_regression_beyond_gate_fails(self):
+        lines = trajectory.compare(
+            _snapshot(walk=_entry(1000.0)), _snapshot(walk=_entry(800.0))
+        )
+        assert any(line.startswith("REGRESSION") for line in lines)
+
+    def test_baseline_metric_only_notes(self):
+        lines = trajectory.compare(
+            _snapshot(walk_baseline=_entry(1000.0)),
+            _snapshot(walk_baseline=_entry(500.0)),
+        )
+        assert lines and all(line.startswith("note:") for line in lines)
+
+    def test_new_and_disappeared_metrics_note_only(self):
+        lines = trajectory.compare(
+            _snapshot(old=_entry(1000.0)), _snapshot(new=_entry(1000.0))
+        )
+        assert len(lines) == 2
+        assert all(line.startswith("note:") for line in lines)
+
+
+class TestP99Notes:
+    def test_tail_growth_beyond_gate_warns_only(self):
+        lines = trajectory.compare(
+            _snapshot(walk=_entry(1000.0, p99=1e-6)),
+            _snapshot(walk=_entry(1000.0, p99=2e-6)),
+        )
+        assert len(lines) == 1
+        assert lines[0].startswith("note: p99 walk:")
+        assert "warn-only" in lines[0]
+        assert not any(line.startswith("REGRESSION") for line in lines)
+
+    def test_tail_within_gate_is_silent(self):
+        lines = trajectory.compare(
+            _snapshot(walk=_entry(1000.0, p99=1.00e-6)),
+            _snapshot(walk=_entry(1000.0, p99=1.05e-6)),
+        )
+        assert lines == []
+
+    def test_tail_improvement_is_silent(self):
+        lines = trajectory.compare(
+            _snapshot(walk=_entry(1000.0, p99=2e-6)),
+            _snapshot(walk=_entry(1000.0, p99=1e-6)),
+        )
+        assert lines == []
+
+    def test_ops_regression_and_tail_growth_both_reported(self):
+        lines = trajectory.compare(
+            _snapshot(walk=_entry(1000.0, p99=1e-6)),
+            _snapshot(walk=_entry(500.0, p99=5e-6)),
+        )
+        assert any(line.startswith("REGRESSION") for line in lines)
+        assert any(line.startswith("note: p99") for line in lines)
+
+    def test_zero_p99_skipped(self):
+        lines = trajectory.compare(
+            _snapshot(walk=_entry(1000.0, p99=0.0)),
+            _snapshot(walk=_entry(1000.0, p99=1e-6)),
+        )
+        assert lines == []
